@@ -1,0 +1,27 @@
+# BlockPilot reproduction — common workflows
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench examples clean
+
+install:
+	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -1,0 +1,62 @@
+"""Ablation — scheduler policy (§4.3 / §5.4 design choice).
+
+The paper schedules subgraphs by gas-weighted LPT because gas approximates
+running time.  This ablation swaps the policy (count-LPT, block order,
+round-robin, random) and measures single-block validator speedup at 16
+threads — quantifying how much of BlockPilot's validator win comes from
+the gas heuristic versus mere parallel structure.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.metrics import SweepPoint
+from repro.analysis.report import format_table
+from repro.core.scheduler import SCHEDULER_POLICIES
+from repro.core.validator import ParallelValidator, ValidatorConfig
+
+
+def test_ablation_scheduler_policies(bench_chain, benchmark, capsys):
+    rows = []
+    means = {}
+    for policy in SCHEDULER_POLICIES:
+        validator = ParallelValidator(
+            config=ValidatorConfig(lanes=16, policy=policy, seed=5)
+        )
+        samples = []
+        for entry in bench_chain:
+            res = validator.validate_block(entry.block, entry.parent_state)
+            assert res.accepted, res.reason
+            samples.append(res.speedup)
+        point = SweepPoint.from_samples(0, samples)
+        means[policy] = point.summary.mean
+        rows.append(
+            {
+                "policy": policy,
+                "mean_speedup": round(point.summary.mean, 3),
+                "min": round(point.summary.minimum, 3),
+                "max": round(point.summary.maximum, 3),
+            }
+        )
+    rows.sort(key=lambda r: -r["mean_speedup"])
+
+    emit(
+        capsys,
+        "ablation_scheduler",
+        format_table(
+            rows,
+            title="Ablation — validator scheduler policy @16 threads (paper uses gas-LPT)",
+        ),
+    )
+
+    # gas-LPT must not lose to load-blind policies
+    assert means["gas_lpt"] >= means["round_robin"] * 0.999
+    assert means["gas_lpt"] >= means["block_order"] * 0.999
+
+    entry = bench_chain[0]
+    v = ParallelValidator(config=ValidatorConfig(lanes=16, policy="gas_lpt"))
+    benchmark.pedantic(
+        lambda: v.validate_block(entry.block, entry.parent_state),
+        rounds=3,
+        iterations=1,
+    )

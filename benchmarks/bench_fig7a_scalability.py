@@ -1,0 +1,71 @@
+"""Figure 7(a) — Single-block validator scalability, BlockPilot vs OCC.
+
+Paper: 1.7× / 2.5× / 3.03× / 3.18× at 2/4/8/16 threads; scaling flattens
+past ~6 threads (hotspot critical path); the two-phase OCC comparator
+[27] stays below BlockPilot throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.metrics import SweepPoint
+from repro.analysis.report import format_table
+from repro.core.baselines import TwoPhaseOCCExecutor
+from repro.core.validator import ParallelValidator, ValidatorConfig
+
+SWEEP = (2, 4, 6, 8, 12, 16)
+PAPER_MEANS = {2: 1.7, 4: 2.5, 8: 3.03, 16: 3.18}
+
+
+def test_fig7a_validator_scalability(bench_chain, benchmark, capsys):
+    rows = []
+    bp_means = []
+    for lanes in SWEEP:
+        validator = ParallelValidator(config=ValidatorConfig(lanes=lanes))
+        occ = TwoPhaseOCCExecutor(lanes=lanes)
+        bp_samples = []
+        occ_samples = []
+        for entry in bench_chain:
+            res = validator.validate_block(entry.block, entry.parent_state)
+            assert res.accepted, res.reason
+            bp_samples.append(res.speedup)
+            occ_samples.append(
+                occ.execute_block(entry.block, entry.parent_state).speedup
+            )
+        bp = SweepPoint.from_samples(lanes, bp_samples)
+        oc = SweepPoint.from_samples(lanes, occ_samples)
+        bp_means.append(bp.summary.mean)
+        rows.append(
+            {
+                "threads": lanes,
+                "blockpilot": round(bp.summary.mean, 2),
+                "occ_2phase": round(oc.summary.mean, 2),
+                "paper_blockpilot": PAPER_MEANS.get(lanes, "—"),
+                "bp_p90": round(bp.summary.p90, 2),
+            }
+        )
+
+    emit(
+        capsys,
+        "fig7a_scalability",
+        format_table(
+            rows,
+            title="Fig. 7(a) — single-block validator speedup vs threads (BlockPilot vs two-phase OCC)",
+        ),
+    )
+
+    # shape: monotone-ish rise with a knee (≤5% gain past 8 threads),
+    # BlockPilot dominates OCC at every point
+    assert all(b >= a * 0.98 for a, b in zip(bp_means, bp_means[1:]))
+    knee_gain = bp_means[SWEEP.index(16)] / bp_means[SWEEP.index(8)]
+    assert knee_gain < 1.15, "no knee: scaling should flatten past ~8 threads"
+    for row in rows:
+        assert row["blockpilot"] > row["occ_2phase"]
+
+    entry = bench_chain[0]
+    validator16 = ParallelValidator(config=ValidatorConfig(lanes=16))
+    benchmark.pedantic(
+        lambda: validator16.validate_block(entry.block, entry.parent_state),
+        rounds=3,
+        iterations=1,
+    )

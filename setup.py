@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works offline without the
+`wheel` package (the sandbox lacks bdist_wheel support)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,223 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage::
+
+    python -m repro demo                       # one propose/validate round
+    python -m repro proposer --lanes 2 4 8 16  # Fig. 6-style sweep
+    python -m repro validator --lanes 2 4 8 16 # Fig. 7(a)-style sweep
+    python -m repro pipeline --blocks 1 2 4 8  # Fig. 9-style sweep
+    python -m repro hotspot                    # Fig. 8-style sweep
+
+All subcommands run on a freshly generated universe; ``--seed``,
+``--txs-per-block`` and ``--blocks-per-point`` control workload size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from statistics import mean
+
+from repro.analysis.report import format_table
+from repro.chain.blockchain import Blockchain
+from repro.core.baselines import SerialExecutor
+from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.core.pipeline import PipelineConfig, ValidatorPipeline
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.evm.interpreter import ExecutionContext
+from repro.network.dissemination import ForkSimulator
+from repro.network.node import ProposerNode, ValidatorNode
+from repro.txpool.pool import TxPool
+from repro.workload.generator import BlockWorkloadGenerator
+from repro.workload.scenarios import hotspot_scenario, mainnet_scenario
+from repro.workload.universe import build_universe
+
+
+def _setup(args):
+    universe = build_universe()
+    config = dataclasses.replace(
+        mainnet_scenario(seed=args.seed), txs_per_block=args.txs_per_block
+    )
+    generator = BlockWorkloadGenerator(universe, config)
+    chain = Blockchain(universe.genesis)
+    return universe, generator, chain
+
+
+def cmd_demo(args) -> int:
+    universe, generator, chain = _setup(args)
+    proposer = ProposerNode("cli-proposer")
+    validator = ValidatorNode("cli-validator", universe.genesis)
+    txs = generator.generate_block_txs()
+    sealed = proposer.build_block(chain.genesis.header, universe.genesis, txs)
+    outcome = validator.receive_blocks([sealed.block])
+    res = outcome.pipeline.results[0]
+    print(
+        format_table(
+            [
+                {
+                    "txs": len(sealed.block),
+                    "proposer_aborts": sealed.proposal.stats.aborts,
+                    "proposer_makespan_us": round(sealed.proposal.stats.makespan, 1),
+                    "validator_speedup": round(res.speedup, 2),
+                    "max_subgraph": f"{res.graph.largest_component_ratio():.1%}",
+                    "accepted": bool(outcome.accepted),
+                }
+            ],
+            title="demo: one proposer/validator round trip",
+        )
+    )
+    return 0 if outcome.accepted else 1
+
+
+def cmd_proposer(args) -> int:
+    universe, generator, chain = _setup(args)
+    serial = SerialExecutor()
+    blocks = []
+    parent_header, parent_state = chain.genesis.header, universe.genesis
+    seal_node = ProposerNode("cli")
+    for _ in range(args.blocks_per_point):
+        txs = generator.generate_block_txs()
+        sealed = seal_node.build_block(parent_header, parent_state, txs)
+        blocks.append((txs, parent_header, parent_state, sealed.block.header))
+        sres = serial.execute_block(sealed.block, parent_state)
+        parent_header, parent_state = sealed.block.header, sres.post_state
+
+    rows = []
+    for lanes in args.lanes:
+        engine = OCCWSIProposer(config=ProposerConfig(lanes=lanes))
+        speedups = []
+        for txs, ph, ps, header in blocks:
+            ctx = ExecutionContext(
+                block_number=header.number,
+                timestamp=header.timestamp,
+                coinbase=header.coinbase,
+                gas_limit=header.gas_limit,
+            )
+            pool = TxPool()
+            pool.add_many(sorted(txs, key=lambda t: t.nonce))
+            result = engine.propose(ps, pool, ctx)
+            pool2 = TxPool()
+            pool2.add_many(sorted(txs, key=lambda t: t.nonce))
+            sres = serial.propose_serial(ps, pool2, ctx)
+            speedups.append(sres.total_time / result.stats.makespan)
+        rows.append({"lanes": lanes, "mean_speedup": round(mean(speedups), 2)})
+    print(format_table(rows, title="proposer scalability (Fig. 6 shape)"))
+    return 0
+
+
+def cmd_validator(args) -> int:
+    universe, generator, chain = _setup(args)
+    serial = SerialExecutor()
+    proposer = ProposerNode("cli")
+    blocks = []
+    parent_header, parent_state = chain.genesis.header, universe.genesis
+    for _ in range(args.blocks_per_point):
+        txs = generator.generate_block_txs()
+        sealed = proposer.build_block(parent_header, parent_state, txs)
+        blocks.append((sealed.block, parent_state))
+        sres = serial.execute_block(sealed.block, parent_state)
+        parent_header, parent_state = sealed.block.header, sres.post_state
+
+    rows = []
+    for lanes in args.lanes:
+        validator = ParallelValidator(config=ValidatorConfig(lanes=lanes))
+        speedups = [
+            validator.validate_block(block, state).speedup
+            for block, state in blocks
+        ]
+        rows.append({"lanes": lanes, "mean_speedup": round(mean(speedups), 2)})
+    print(format_table(rows, title="validator scalability (Fig. 7a shape)"))
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    universe, generator, chain = _setup(args)
+    txs = generator.generate_block_txs()
+    pipe = ValidatorPipeline(config=PipelineConfig(worker_lanes=16))
+    parent_states = {chain.genesis.header.hash: universe.genesis}
+    rows = []
+    for count in args.blocks:
+        forks = ForkSimulator(count, seed=args.seed).propose_forks(
+            chain.genesis.header, universe.genesis, txs
+        )
+        res = pipe.process_blocks(forks.blocks, parent_states)
+        rows.append(
+            {
+                "blocks": count,
+                "speedup": round(res.speedup, 2),
+                "ctx_switches": res.context_switches,
+            }
+        )
+    print(format_table(rows, title="multi-block pipeline (Fig. 9 shape)"))
+    return 0
+
+
+def cmd_hotspot(args) -> int:
+    universe, _, chain = _setup(args)
+    proposer = ProposerNode("cli")
+    validator = ParallelValidator(config=ValidatorConfig(lanes=16))
+    rows = []
+    for intensity in (0.0, 0.25, 0.5, 0.75, 1.0):
+        uni = dataclasses.replace(universe, nonces={})
+        generator = BlockWorkloadGenerator(
+            uni, hotspot_scenario(intensity, seed=args.seed)
+        )
+        ratios, speedups = [], []
+        for _ in range(args.blocks_per_point):
+            txs = generator.generate_block_txs()
+            sealed = proposer.build_block(
+                chain.genesis.header, universe.genesis, txs
+            )
+            res = validator.validate_block(sealed.block, universe.genesis)
+            ratios.append(res.graph.largest_component_ratio())
+            speedups.append(res.speedup)
+            uni.nonces.clear()
+        rows.append(
+            {
+                "intensity": intensity,
+                "max_subgraph": f"{mean(ratios):.1%}",
+                "speedup@16": round(mean(speedups), 2),
+            }
+        )
+    print(format_table(rows, title="hotspot effect (Fig. 8 shape)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BlockPilot reproduction — quick experiment driver",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--txs-per-block", type=int, default=132)
+    parser.add_argument("--blocks-per-point", type=int, default=4)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="one propose/validate round trip")
+    p = sub.add_parser("proposer", help="Fig. 6-style thread sweep")
+    p.add_argument("--lanes", type=int, nargs="+", default=[2, 4, 8, 16])
+    p = sub.add_parser("validator", help="Fig. 7(a)-style thread sweep")
+    p.add_argument("--lanes", type=int, nargs="+", default=[2, 4, 8, 16])
+    p = sub.add_parser("pipeline", help="Fig. 9-style block-count sweep")
+    p.add_argument("--blocks", type=int, nargs="+", default=[1, 2, 4, 8])
+    sub.add_parser("hotspot", help="Fig. 8-style intensity sweep")
+    return parser
+
+
+COMMANDS = {
+    "demo": cmd_demo,
+    "proposer": cmd_proposer,
+    "validator": cmd_validator,
+    "pipeline": cmd_pipeline,
+    "hotspot": cmd_hotspot,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

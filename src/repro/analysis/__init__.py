@@ -1,0 +1,38 @@
+"""Result aggregation and report formatting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; this
+package turns raw per-block measurements into the same rows/series the
+paper reports and renders them as fixed-width text tables (and ASCII
+histograms for the distribution figures).
+"""
+
+from repro.analysis.metrics import (
+    SweepPoint,
+    scaling_sweep_table,
+    bucket_by_ratio,
+    correlation,
+    throughput_tps,
+)
+from repro.analysis.report import (
+    format_table,
+    format_histogram,
+    format_series,
+    write_report,
+)
+from repro.analysis.conflicts import ConflictBreakdown, analyze_block_conflicts
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "SweepPoint",
+    "scaling_sweep_table",
+    "bucket_by_ratio",
+    "correlation",
+    "throughput_tps",
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "write_report",
+    "ConflictBreakdown",
+    "analyze_block_conflicts",
+    "render_timeline",
+]

@@ -1,0 +1,111 @@
+"""Measurement aggregation helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.simcore.stats import SpeedupSummary, summarize_speedups
+
+__all__ = ["SweepPoint", "scaling_sweep_table", "bucket_by_ratio", "correlation", "throughput_tps"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration point of a parameter sweep with its samples."""
+
+    x: float  # the swept parameter (threads, blocks, intensity, ...)
+    summary: SpeedupSummary
+
+    @classmethod
+    def from_samples(cls, x: float, samples: Iterable[float]) -> "SweepPoint":
+        return cls(x=x, summary=summarize_speedups(samples))
+
+
+def scaling_sweep_table(
+    points: Sequence[SweepPoint], x_label: str = "threads"
+) -> List[dict]:
+    """Rows for a thread/block-count scaling table."""
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                x_label: int(p.x) if float(p.x).is_integer() else p.x,
+                "mean": round(p.summary.mean, 2),
+                "median": round(p.summary.median, 2),
+                "p10": round(p.summary.p10, 2),
+                "p90": round(p.summary.p90, 2),
+                "max": round(p.summary.maximum, 2),
+                "accelerated": f"{p.summary.accelerated_fraction:.1%}",
+            }
+        )
+    return rows
+
+
+def bucket_by_ratio(
+    pairs: Iterable[Tuple[float, float]],
+    edges: Sequence[float],
+) -> List[dict]:
+    """Bucket (ratio, speedup) pairs by ratio — the Fig. 8 aggregation.
+
+    Returns one row per non-empty bucket with the mean speedup inside it.
+    """
+    buckets: Dict[int, List[float]] = {}
+    counts: Dict[int, int] = {}
+    for ratio, speedup in pairs:
+        for i in range(len(edges) - 1):
+            if edges[i] <= ratio < edges[i + 1] or (
+                i == len(edges) - 2 and ratio >= edges[-1]
+            ):
+                buckets.setdefault(i, []).append(speedup)
+                counts[i] = counts.get(i, 0) + 1
+                break
+        else:
+            if ratio < edges[0]:
+                buckets.setdefault(0, []).append(speedup)
+                counts[0] = counts.get(0, 0) + 1
+    rows = []
+    for i in sorted(buckets):
+        values = buckets[i]
+        rows.append(
+            {
+                "ratio_bucket": f"[{edges[i]:.2f},{edges[i + 1]:.2f})",
+                "blocks": len(values),
+                "mean_speedup": round(sum(values) / len(values), 2),
+                "min": round(min(values), 2),
+                "max": round(max(values), 2),
+            }
+        )
+    return rows
+
+
+def throughput_tps(tx_count: int, makespan_us: float) -> float:
+    """Transactions per second implied by a simulated makespan.
+
+    Throughput is the paper's motivating metric (§1: "the number of
+    transactions executed per second"); this converts a block's simulated
+    execution window into the TPS the execution layer could sustain if it
+    were the only bottleneck.
+    """
+    if makespan_us <= 0:
+        raise ValueError("makespan must be positive")
+    return tx_count / (makespan_us / 1_000_000.0)
+
+
+def correlation(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Pearson correlation of (x, y) pairs (Fig. 8's anticorrelation check)."""
+    data = list(pairs)
+    n = len(data)
+    if n < 2:
+        raise ValueError("need at least two pairs")
+    xs = [p[0] for p in data]
+    ys = [p[1] for p in data]
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in data)
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)

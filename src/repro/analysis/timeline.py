@@ -1,0 +1,53 @@
+"""ASCII lane-occupancy timelines for simulated schedules.
+
+Turns a :class:`~repro.simcore.lanes.LaneGroup` built with
+``record_trace=True`` into a Gantt-style text chart — the fastest way to
+*see* why a schedule has the makespan it has (one long component pinning
+a lane, idle tails, context-switch gaps).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simcore.lanes import LaneGroup
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    group: LaneGroup,
+    *,
+    width: int = 72,
+    label_of=None,
+) -> str:
+    """Render each lane's recorded busy intervals as a text bar.
+
+    ``#`` marks busy time, ``.`` idle; when ``label_of`` is given it maps
+    a task tag to a single character used instead of ``#`` (labels longer
+    than a cell are truncated to their first character).
+    """
+    if not group.record_trace:
+        raise ValueError("LaneGroup must be built with record_trace=True")
+    span = group.makespan
+    lines: List[str] = []
+    if span <= 0:
+        return "(empty timeline)\n"
+    scale = width / span
+
+    for lane in group.lanes:
+        cells = ["."] * width
+        for start, end, tag in lane.trace:
+            a = min(width - 1, int(start * scale))
+            b = min(width, max(a + 1, int(end * scale)))
+            ch = "#"
+            if label_of is not None:
+                label = str(label_of(tag)) if tag is not None else "#"
+                ch = label[0] if label else "#"
+            for i in range(a, b):
+                cells[i] = ch
+        busy_pct = lane.busy_time / span if span else 0.0
+        lines.append(f"lane {lane.index:2d} |{''.join(cells)}| {busy_pct:4.0%}")
+
+    lines.append(f"{'':8}0{' ' * (width - 10)}{span:9.1f}us")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,180 @@
+"""Block structures: headers, bodies, receipts and block profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Sequence, Tuple
+
+from repro.common.hashing import Hash32, hash_of
+from repro.common.rlp import rlp_encode
+from repro.common.types import Address
+from repro.evm.interpreter import Log
+from repro.state.access import FrozenRWSet
+from repro.state.trie import MPT
+from repro.txpool.transaction import Transaction
+
+__all__ = [
+    "BlockHeader",
+    "Block",
+    "Receipt",
+    "TxProfileEntry",
+    "BlockProfile",
+    "transactions_root",
+    "receipts_root",
+]
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header committing to parent, contents and post-state."""
+
+    parent_hash: Hash32
+    number: int
+    state_root: Hash32
+    transactions_root: Hash32
+    receipts_root: Hash32
+    gas_used: int
+    gas_limit: int
+    coinbase: Address
+    timestamp: int
+    proposer_id: str = ""  # which node proposed (fork bookkeeping)
+    extra: bytes = b""
+    #: 2048-bit logs bloom over every log the block's transactions emitted
+    logs_bloom: bytes = b"\x00" * 256
+
+    @cached_property
+    def hash(self) -> Hash32:
+        return hash_of(
+            bytes(self.parent_hash),
+            self.number,
+            bytes(self.state_root),
+            bytes(self.transactions_root),
+            bytes(self.receipts_root),
+            self.gas_used,
+            self.gas_limit,
+            bytes(self.coinbase),
+            self.timestamp,
+            self.proposer_id,
+            self.extra,
+            self.logs_bloom,
+        )
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Per-transaction outcome included in the block's receipt trie.
+
+    Carries the transaction's logs (Ethereum receipts do), so the receipt
+    root commits to event data and :meth:`Blockchain.get_logs` can serve
+    queries from stored blocks."""
+
+    tx_hash: Hash32
+    success: bool
+    gas_used: int
+    cumulative_gas: int
+    log_count: int
+    logs: Tuple[Log, ...] = ()
+
+    def encode(self) -> bytes:
+        return rlp_encode(
+            [
+                bytes(self.tx_hash),
+                1 if self.success else 0,
+                self.gas_used,
+                self.cumulative_gas,
+                self.log_count,
+                [
+                    [
+                        bytes(log.address),
+                        [t.to_bytes(32, "big") for t in log.topics],
+                        log.data,
+                    ]
+                    for log in self.logs
+                ],
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class TxProfileEntry:
+    """One transaction's execution details published by the proposer."""
+
+    tx_hash: Hash32
+    rw: FrozenRWSet
+    gas_used: int
+    success: bool
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """The proposer's execution profile for a block (§4.2).
+
+    Validators use it twice: the scheduler derives the dependency graph
+    from the read/write footprints without pre-executing, and the applier
+    checks re-executed rw-sets against it (§4.4)."""
+
+    entries: Tuple[TxProfileEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry_for(self, tx_hash: Hash32) -> Optional[TxProfileEntry]:
+        for entry in self.entries:
+            if entry.tx_hash == tx_hash:
+                return entry
+        return None
+
+
+def transactions_root(transactions: Sequence[Transaction]) -> Hash32:
+    """Trie root over the block's transactions, keyed by index (yellow paper)."""
+    trie = MPT()
+    for index, tx in enumerate(transactions):
+        trie = trie.set(rlp_encode(index), bytes(tx.hash))
+    return trie.root_hash()
+
+
+def receipts_root(receipts: Sequence[Receipt]) -> Hash32:
+    trie = MPT()
+    for index, receipt in enumerate(receipts):
+        trie = trie.set(rlp_encode(index), receipt.encode())
+    return trie.root_hash()
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed block: header, ordered transactions, receipts, profile.
+
+    ``profile`` may be ``None`` for blocks from proposers that do not
+    publish execution details; the validator then falls back to building
+    the dependency graph by pre-execution (slower preparation phase)."""
+
+    header: BlockHeader
+    transactions: Tuple[Transaction, ...]
+    receipts: Tuple[Receipt, ...] = ()
+    profile: Optional[BlockProfile] = None
+    uncles: Tuple[BlockHeader, ...] = ()
+
+    @property
+    def hash(self) -> Hash32:
+        return self.header.hash
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def validate_structure(self) -> None:
+        """Internal consistency: tx root, receipt root, profile alignment."""
+        if transactions_root(self.transactions) != self.header.transactions_root:
+            raise ValueError("transactions root mismatch")
+        if self.receipts and receipts_root(self.receipts) != self.header.receipts_root:
+            raise ValueError("receipts root mismatch")
+        if self.profile is not None and len(self.profile) != len(self.transactions):
+            raise ValueError("profile entry count mismatch")
+        if self.profile is not None:
+            for tx, entry in zip(self.transactions, self.profile.entries):
+                if tx.hash != entry.tx_hash:
+                    raise ValueError("profile entry order mismatch")

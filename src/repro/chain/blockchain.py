@@ -1,0 +1,216 @@
+"""The block store: canonical chain, forks, uncles, per-block state.
+
+Because snapshots share structure (immutable tries), the chain keeps the
+post-state of *every* known block alive — canonical or not — which is what
+the validator pipeline needs to execute same-height fork blocks
+concurrently against their common parent state (paper §4.3, Figure 5).
+
+Fork choice is longest-chain with first-seen tie-breaking (Ethereum PoW's
+effective behaviour for equal difficulty).  Siblings displaced from the
+canonical chain are tracked as uncle candidates (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.hashing import Hash32
+from repro.common.types import Address
+from repro.chain.block import Block, BlockHeader, receipts_root, transactions_root
+from repro.state.statedb import StateSnapshot
+
+__all__ = ["Blockchain", "ChainError"]
+
+GENESIS_PARENT = Hash32(b"\x00" * 32)
+
+
+class ChainError(Exception):
+    """Structural chain violation (unknown parent, number gap, duplicate)."""
+
+
+class Blockchain:
+    """Stores blocks and their post-state snapshots; tracks the canonical head."""
+
+    def __init__(self, genesis_state: StateSnapshot) -> None:
+        genesis_header = BlockHeader(
+            parent_hash=GENESIS_PARENT,
+            number=0,
+            state_root=genesis_state.state_root(),
+            transactions_root=transactions_root(()),
+            receipts_root=receipts_root(()),
+            gas_used=0,
+            gas_limit=30_000_000,
+            coinbase=Address(b"\x00" * 20),
+            timestamp=0,
+            proposer_id="genesis",
+        )
+        self.genesis = Block(genesis_header, ())
+        self._blocks: Dict[Hash32, Block] = {self.genesis.hash: self.genesis}
+        self._states: Dict[Hash32, StateSnapshot] = {
+            self.genesis.hash: genesis_state
+        }
+        self._by_height: Dict[int, List[Hash32]] = {0: [self.genesis.hash]}
+        # tx hash -> (block hash, index) for canonical-and-fork lookup
+        self._tx_index: Dict[Hash32, List[tuple]] = {}
+        self._arrival: Dict[Hash32, int] = {self.genesis.hash: 0}
+        self._arrival_counter = 1
+        self._head: Hash32 = self.genesis.hash
+
+    # ------------------------------------------------------------------ #
+    # queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[self._head]
+
+    @property
+    def head_state(self) -> StateSnapshot:
+        return self._states[self._head]
+
+    def block(self, block_hash: Hash32) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def state_at(self, block_hash: Hash32) -> Optional[StateSnapshot]:
+        return self._states.get(block_hash)
+
+    def blocks_at_height(self, number: int) -> List[Block]:
+        return [self._blocks[h] for h in self._by_height.get(number, [])]
+
+    def height(self) -> int:
+        return self.head.number
+
+    def __contains__(self, block_hash: Hash32) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def canonical_chain(self) -> List[Block]:
+        """Blocks from genesis to head, inclusive."""
+        chain: List[Block] = []
+        cursor: Optional[Block] = self.head
+        while cursor is not None:
+            chain.append(cursor)
+            if cursor.header.parent_hash == GENESIS_PARENT and cursor.number == 0:
+                break
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        chain.reverse()
+        return chain
+
+    def canonical_hash_at(self, number: int) -> Optional[Hash32]:
+        cursor = self.head
+        if number > cursor.number:
+            return None
+        while cursor.number > number:
+            cursor = self._blocks[cursor.header.parent_hash]
+        return cursor.hash
+
+    def uncles_at(self, number: int) -> List[Block]:
+        """Known same-height siblings of the canonical block (§3.4)."""
+        canonical = self.canonical_hash_at(number)
+        return [
+            self._blocks[h]
+            for h in self._by_height.get(number, [])
+            if h != canonical
+        ]
+
+    def get_logs(
+        self,
+        *,
+        address: Optional[object] = None,
+        topic: Optional[int] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+    ):
+        """Query logs on the canonical chain (eth_getLogs).
+
+        Uses each header's logs bloom to skip blocks that definitely do
+        not match — the standard light-scan path.  Returns
+        ``(block_number, tx_index, log)`` tuples in chain order.
+        """
+        from repro.chain.bloom import Bloom
+
+        if to_block is None:
+            to_block = self.head.number
+        matches = []
+        for block in self.canonical_chain():
+            number = block.number
+            if number < from_block or number > to_block:
+                continue
+            if address is not None or topic is not None:
+                bloom = Bloom.from_bytes(block.header.logs_bloom)
+                if address is not None and not bloom.might_contain(bytes(address)):
+                    continue
+                if topic is not None and not bloom.might_contain(
+                    topic.to_bytes(32, "big")
+                ):
+                    continue
+            for tx_index, receipt in enumerate(block.receipts):
+                for log in receipt.logs:
+                    if address is not None and log.address != address:
+                        continue
+                    if topic is not None and topic not in log.topics:
+                        continue
+                    matches.append((number, tx_index, log))
+        return matches
+
+    def find_transaction(self, tx_hash: Hash32):
+        """Locate a transaction on the *canonical* chain.
+
+        Returns ``(block, index, receipt_or_None)`` or ``None`` if the
+        transaction is unknown or only lives on non-canonical branches
+        (the eth_getTransactionByHash contract).
+        """
+        locations = self._tx_index.get(tx_hash)
+        if not locations:
+            return None
+        for block_hash, index in locations:
+            block = self._blocks[block_hash]
+            if self.canonical_hash_at(block.number) == block_hash:
+                receipt = block.receipts[index] if block.receipts else None
+                return block, index, receipt
+        return None
+
+    def uncle_count(self) -> int:
+        return sum(
+            len(hashes) - 1 for hashes in self._by_height.values() if len(hashes) > 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # insertion                                                          #
+    # ------------------------------------------------------------------ #
+
+    def add_block(self, block: Block, post_state: StateSnapshot) -> bool:
+        """Insert a validated block with its post-state.
+
+        Returns True if the block became the new canonical head.  The
+        caller (a validator) is responsible for having *verified* the
+        block — the chain checks only structural linkage and that the
+        provided state matches the header's root.
+        """
+        if block.hash in self._blocks:
+            raise ChainError(f"duplicate block {block.hash.hex()[:12]}")
+        parent = self._blocks.get(block.header.parent_hash)
+        if parent is None:
+            raise ChainError("unknown parent")
+        if block.number != parent.number + 1:
+            raise ChainError(
+                f"number gap: parent {parent.number}, block {block.number}"
+            )
+        if post_state.state_root() != block.header.state_root:
+            raise ChainError("post-state root does not match header")
+
+        self._blocks[block.hash] = block
+        self._states[block.hash] = post_state
+        self._by_height.setdefault(block.number, []).append(block.hash)
+        for index, tx in enumerate(block.transactions):
+            self._tx_index.setdefault(tx.hash, []).append((block.hash, index))
+        self._arrival[block.hash] = self._arrival_counter
+        self._arrival_counter += 1
+
+        # fork choice: longest chain, earliest arrival breaks ties
+        if block.number > self.head.number:
+            self._head = block.hash
+            return True
+        return False

@@ -1,0 +1,138 @@
+"""Recursive Length Prefix (RLP) encoding and decoding.
+
+RLP is Ethereum's canonical serialisation for nested structures of byte
+strings.  The implementation follows the yellow paper exactly:
+
+* a single byte in ``[0x00, 0x7f]`` is its own encoding;
+* a string of 0-55 bytes is ``0x80+len`` followed by the string;
+* a longer string is ``0xb7+len(len)`` then the big-endian length then the
+  string;
+* lists use ``0xc0``/``0xf7`` analogously over the concatenated encodings
+  of their items.
+
+Integers are encoded big-endian with no leading zeros (zero encodes as the
+empty string), matching Ethereum's convention.  The decoder is strict: it
+rejects non-minimal length prefixes and trailing garbage, which the tests
+exercise via round-trip properties.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+RLPItem = Union[bytes, int, str, list, tuple]
+
+__all__ = ["rlp_encode", "rlp_decode", "RLPDecodeError"]
+
+
+class RLPDecodeError(ValueError):
+    """Raised when a byte string is not valid canonical RLP."""
+
+
+def _encode_int(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("RLP cannot encode negative integers")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    raw = _encode_int(length)
+    return bytes([offset + 55 + len(raw)]) + raw
+
+
+def rlp_encode(item: RLPItem) -> bytes:
+    """Encode bytes / int / str / nested lists into canonical RLP."""
+    if isinstance(item, (bytes, bytearray)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] < 0x80:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(item, bool):
+        raise TypeError("RLP does not define a boolean encoding")
+    if isinstance(item, int):
+        return rlp_encode(_encode_int(item))
+    if isinstance(item, str):
+        return rlp_encode(item.encode("utf-8"))
+    if isinstance(item, (list, tuple)):
+        body = b"".join(rlp_encode(sub) for sub in item)
+        return _encode_length(len(body), 0xC0) + body
+    raise TypeError(f"cannot RLP-encode {type(item).__name__}")
+
+
+def _decode_at(data: bytes, pos: int):
+    """Decode one item starting at ``pos``; return ``(item, next_pos)``."""
+    if pos >= len(data):
+        raise RLPDecodeError("unexpected end of input")
+    prefix = data[pos]
+    if prefix < 0x80:  # single byte
+        return bytes([prefix]), pos + 1
+    if prefix <= 0xB7:  # short string
+        length = prefix - 0x80
+        end = pos + 1 + length
+        if end > len(data):
+            raise RLPDecodeError("string runs past end of input")
+        payload = data[pos + 1 : end]
+        if length == 1 and payload[0] < 0x80:
+            raise RLPDecodeError("non-canonical single-byte encoding")
+        return payload, end
+    if prefix <= 0xBF:  # long string
+        len_of_len = prefix - 0xB7
+        if pos + 1 + len_of_len > len(data):
+            raise RLPDecodeError("length field runs past end of input")
+        len_bytes = data[pos + 1 : pos + 1 + len_of_len]
+        if len_bytes[0] == 0:
+            raise RLPDecodeError("length has leading zero byte")
+        length = int.from_bytes(len_bytes, "big")
+        if length < 56:
+            raise RLPDecodeError("long form used for short string")
+        end = pos + 1 + len_of_len + length
+        if end > len(data):
+            raise RLPDecodeError("string runs past end of input")
+        return data[pos + 1 + len_of_len : end], end
+    if prefix <= 0xF7:  # short list
+        length = prefix - 0xC0
+        end = pos + 1 + length
+        if end > len(data):
+            raise RLPDecodeError("list runs past end of input")
+        return _decode_list(data, pos + 1, end), end
+    # long list
+    len_of_len = prefix - 0xF7
+    if pos + 1 + len_of_len > len(data):
+        raise RLPDecodeError("length field runs past end of input")
+    len_bytes = data[pos + 1 : pos + 1 + len_of_len]
+    if len_bytes[0] == 0:
+        raise RLPDecodeError("length has leading zero byte")
+    length = int.from_bytes(len_bytes, "big")
+    if length < 56:
+        raise RLPDecodeError("long form used for short list")
+    end = pos + 1 + len_of_len + length
+    if end > len(data):
+        raise RLPDecodeError("list runs past end of input")
+    return _decode_list(data, pos + 1 + len_of_len, end), end
+
+
+def _decode_list(data: bytes, start: int, end: int) -> list:
+    items = []
+    pos = start
+    while pos < end:
+        item, pos = _decode_at(data, pos)
+        items.append(item)
+    if pos != end:
+        raise RLPDecodeError("list payload length mismatch")
+    return items
+
+
+def rlp_decode(data: bytes):
+    """Decode canonical RLP into nested lists of ``bytes``.
+
+    Raises :class:`RLPDecodeError` on any malformed or non-canonical input,
+    including trailing bytes after the first item.
+    """
+    item, pos = _decode_at(bytes(data), 0)
+    if pos != len(data):
+        raise RLPDecodeError(f"{len(data) - pos} trailing bytes after RLP item")
+    return item

@@ -1,0 +1,139 @@
+"""Core value types: addresses, 32-byte hashes and 256-bit word arithmetic.
+
+The EVM is a 256-bit word machine.  Rather than wrapping every value in a
+class (which would be ruinously slow in pure Python), words travel through
+the interpreter as plain ``int`` restricted to ``[0, 2**256)``; the helpers
+here implement the wrapping arithmetic and the signed/unsigned views the
+opcode handlers need.
+
+``Address`` and ``Hash32`` are thin ``bytes`` subclasses that enforce their
+length on construction, so malformed identifiers fail fast at the boundary
+instead of corrupting tries or read/write sets deep inside the system.
+"""
+
+from __future__ import annotations
+
+WORD_BYTES = 32
+ADDRESS_BYTES = 20
+U256_BITS = 256
+U256_MASK = (1 << U256_BITS) - 1
+MAX_U256 = U256_MASK
+_SIGN_BIT = 1 << (U256_BITS - 1)
+
+
+class Address(bytes):
+    """A 20-byte account identifier.
+
+    Construct from raw bytes (must be exactly 20), or via
+    :meth:`from_int` / :meth:`from_hex` for convenience.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: bytes) -> "Address":
+        if len(value) != ADDRESS_BYTES:
+            raise ValueError(
+                f"Address must be {ADDRESS_BYTES} bytes, got {len(value)}"
+            )
+        return super().__new__(cls, value)
+
+    @classmethod
+    def from_int(cls, value: int) -> "Address":
+        """Build an address from an integer (low 160 bits)."""
+        if value < 0:
+            raise ValueError("Address integers must be non-negative")
+        return cls(value.to_bytes(ADDRESS_BYTES, "big"))
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        """Parse a ``0x``-prefixed or bare 40-hex-character address."""
+        if text.startswith(("0x", "0X")):
+            text = text[2:]
+        return cls(bytes.fromhex(text))
+
+    def to_int(self) -> int:
+        return int.from_bytes(self, "big")
+
+    def hex0x(self) -> str:
+        return "0x" + self.hex()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Address({self.hex0x()})"
+
+
+class Hash32(bytes):
+    """A 32-byte digest (state roots, block hashes, tx hashes)."""
+
+    __slots__ = ()
+
+    def __new__(cls, value: bytes) -> "Hash32":
+        if len(value) != WORD_BYTES:
+            raise ValueError(f"Hash32 must be {WORD_BYTES} bytes, got {len(value)}")
+        return super().__new__(cls, value)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Hash32":
+        if text.startswith(("0x", "0X")):
+            text = text[2:]
+        return cls(bytes.fromhex(text))
+
+    def hex0x(self) -> str:
+        return "0x" + self.hex()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hash32({self.hex0x()})"
+
+
+def to_u256(value: int) -> int:
+    """Reduce an arbitrary Python int into the unsigned 256-bit ring."""
+    return value & U256_MASK
+
+
+def u256_add(a: int, b: int) -> int:
+    return (a + b) & U256_MASK
+
+
+def u256_sub(a: int, b: int) -> int:
+    return (a - b) & U256_MASK
+
+
+def u256_mul(a: int, b: int) -> int:
+    return (a * b) & U256_MASK
+
+
+def u256_div(a: int, b: int) -> int:
+    """EVM DIV: division by zero yields zero (no trap)."""
+    return 0 if b == 0 else a // b
+
+
+def u256_mod(a: int, b: int) -> int:
+    """EVM MOD: modulo zero yields zero (no trap)."""
+    return 0 if b == 0 else a % b
+
+
+def u256_exp(base: int, exponent: int) -> int:
+    """Wrapping exponentiation, as the EXP opcode defines it."""
+    return pow(base, exponent, 1 << U256_BITS)
+
+
+def signed_to_u256(value: int) -> int:
+    """Encode a Python int in two's-complement 256-bit form."""
+    return value & U256_MASK
+
+
+def u256_to_signed(value: int) -> int:
+    """Decode a 256-bit word as a two's-complement signed integer."""
+    value &= U256_MASK
+    return value - (1 << U256_BITS) if value & _SIGN_BIT else value
+
+
+def to_word_bytes(value: int) -> bytes:
+    """Serialize a u256 as a 32-byte big-endian word."""
+    return (value & U256_MASK).to_bytes(WORD_BYTES, "big")
+
+
+def word_from_bytes(data: bytes) -> int:
+    """Read up to 32 bytes as a big-endian word (short input is left-padded)."""
+    if len(data) > WORD_BYTES:
+        raise ValueError(f"word too long: {len(data)} bytes")
+    return int.from_bytes(data, "big")

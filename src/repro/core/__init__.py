@@ -1,0 +1,63 @@
+"""BlockPilot core: the proposer-validator parallel execution framework.
+
+This package implements the paper's contribution proper:
+
+* :mod:`repro.core.occ_wsi` -- Algorithm 1: the proposer's optimistic
+  Write-Snapshot-Isolation execution that produces a serializable packing
+  order, with aborted transactions returned to the pool.
+* :mod:`repro.core.proposer` -- block sealing: receipts, tries, state
+  root, and the block profile (per-tx read/write sets) for validators.
+* :mod:`repro.core.depgraph` -- account-level transaction dependency
+  graph; conflicting transactions land in the same subgraph (§4.3).
+* :mod:`repro.core.scheduler` -- gas-weighted assignment of subgraphs to
+  worker threads (LPT), plus the ablation policies.
+* :mod:`repro.core.applier` -- Algorithm 2: rw-set verification against
+  the block profile and world-state/root checks.
+* :mod:`repro.core.validator` -- single-block parallel validation with
+  the four-phase timing model.
+* :mod:`repro.core.pipeline` -- the multi-block validator pipeline:
+  same-height blocks overlap fully, child validation waits for parent.
+* :mod:`repro.core.baselines` -- serial (geth-like) execution and the
+  two-phase speculative OCC comparator [Saraph & Herlihy].
+"""
+
+from repro.core.depgraph import DependencyGraph, build_dependency_graph
+from repro.core.scheduler import SchedulePlan, schedule_components, SCHEDULER_POLICIES
+from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig, ProposalResult
+from repro.core.proposer import seal_block, finalize_fees, SealedProposal
+from repro.core.applier import Applier, ProfileMismatch, ValidationOutcome
+from repro.core.validator import ParallelValidator, ValidatorConfig, ValidationResult
+from repro.core.pipeline import ValidatorPipeline, PipelineConfig, PipelineResult
+from repro.core.baselines import (
+    SerialExecutor,
+    SerialResult,
+    TwoPhaseOCCExecutor,
+    TwoPhaseOCCResult,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "SchedulePlan",
+    "schedule_components",
+    "SCHEDULER_POLICIES",
+    "OCCWSIProposer",
+    "ProposerConfig",
+    "ProposalResult",
+    "seal_block",
+    "finalize_fees",
+    "SealedProposal",
+    "Applier",
+    "ProfileMismatch",
+    "ValidationOutcome",
+    "ParallelValidator",
+    "ValidatorConfig",
+    "ValidationResult",
+    "ValidatorPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "SerialExecutor",
+    "SerialResult",
+    "TwoPhaseOCCExecutor",
+    "TwoPhaseOCCResult",
+]

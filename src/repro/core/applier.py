@@ -1,0 +1,114 @@
+"""The applier: Algorithm 2's read/write-set and state verification.
+
+"The applier collects read-write sets from workers, checks them against
+the block profile, and authenticates them.  Once all read and write sets
+in the block profile are verified, the applier confirms the world state
+aligns with the expected one" (§4.4).
+
+The checks are exact:
+
+* the re-executed **read key set** must equal the profile's (versions are
+  context-relative and not compared);
+* the re-executed **write set** must match key-for-key *and value-for-
+  value* — a proposer cannot claim writes it did not perform nor hide
+  writes it did;
+* per-transaction gas and success flag must match the profile;
+* after all transactions, the recomputed state root must equal the
+  header's, and recomputed receipts must hash to the header's receipt
+  root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.chain.block import Block, Receipt, TxProfileEntry, receipts_root
+from repro.chain.bloom import bloom_from_logs
+from repro.evm.interpreter import TxResult
+from repro.state.access import ReadWriteSet
+from repro.state.statedb import StateSnapshot
+
+__all__ = ["ProfileMismatch", "ValidationOutcome", "Applier"]
+
+
+class ProfileMismatch(Exception):
+    """Re-executed transaction disagrees with the block profile."""
+
+    def __init__(self, tx_index: int, reason: str) -> None:
+        super().__init__(f"tx {tx_index}: {reason}")
+        self.tx_index = tx_index
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ValidationOutcome:
+    """Applier verdict for a whole block."""
+
+    accepted: bool
+    reason: Optional[str] = None
+    failed_tx: Optional[int] = None
+
+
+class Applier:
+    """Verifies execution results against the proposer's claims."""
+
+    def verify_tx(
+        self,
+        index: int,
+        entry: TxProfileEntry,
+        rw: ReadWriteSet,
+        result: TxResult,
+    ) -> None:
+        """Check one re-executed transaction against its profile entry.
+
+        Raises :class:`ProfileMismatch` on the first disagreement.
+        """
+        if result.gas_used != entry.gas_used:
+            raise ProfileMismatch(
+                index,
+                f"gas mismatch: executed {result.gas_used}, profile {entry.gas_used}",
+            )
+        if result.success != entry.success:
+            raise ProfileMismatch(
+                index,
+                f"status mismatch: executed {result.success}, "
+                f"profile {entry.success}",
+            )
+        expected_reads = entry.rw.read_keys()
+        actual_reads = frozenset(rw.reads)
+        if actual_reads != expected_reads:
+            missing = expected_reads - actual_reads
+            extra = actual_reads - expected_reads
+            raise ProfileMismatch(
+                index,
+                f"read set mismatch: missing {len(missing)}, extra {len(extra)}",
+            )
+        expected_writes = dict(entry.rw.write_items())
+        if dict(rw.writes) != expected_writes:
+            raise ProfileMismatch(index, "write set mismatch")
+
+    def verify_block(
+        self,
+        block: Block,
+        computed_state: StateSnapshot,
+        computed_receipts: Sequence[Receipt],
+        total_gas: int,
+        computed_logs=None,
+    ) -> ValidationOutcome:
+        """Final block-level checks after all transactions verified."""
+        if computed_logs is not None:
+            bloom = bloom_from_logs(computed_logs).to_bytes()
+            if bloom != block.header.logs_bloom:
+                return ValidationOutcome(False, "logs bloom mismatch")
+        if total_gas != block.header.gas_used:
+            return ValidationOutcome(
+                False,
+                f"block gas mismatch: executed {total_gas}, "
+                f"header {block.header.gas_used}",
+            )
+        if receipts_root(computed_receipts) != block.header.receipts_root:
+            return ValidationOutcome(False, "receipts root mismatch")
+        if computed_state.state_root() != block.header.state_root:
+            return ValidationOutcome(False, "state root mismatch")
+        return ValidationOutcome(True)

@@ -1,0 +1,185 @@
+"""Round-based OCC with deterministic aborts (after OCC-DA [17]).
+
+Garamvölgyi et al.'s scheduler — cited by the paper as the representative
+deterministic-abort OCC (§2.3) — executes optimistically but makes abort
+decisions *deterministic* so that the schedule can be replayed exactly.
+This implementation captures the design's essence as a proposer-side
+comparator for OCC-WSI:
+
+* execution proceeds in **rounds**: up to ``lanes`` ready transactions
+  run concurrently against the round-start snapshot;
+* conflicts are resolved in a fixed **priority order** (pop order — gas
+  price, then arrival): a transaction commits iff its read set does not
+  intersect the writes of higher-priority transactions committed in the
+  same round, otherwise it aborts deterministically and retries next
+  round;
+* a synchronisation **barrier** ends every round.
+
+Compared with OCC-WSI's free-running lanes, the barrier wastes the tail
+of every round (lanes idle while the slowest transaction finishes) —
+that gap is what the ``bench_ablation_occ_variants`` benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
+from repro.simcore.costmodel import CostModel
+from repro.simcore.stats import RunStats
+from repro.state.access import ReadWriteSet, RecordingState
+from repro.state.statedb import StateDB, StateSnapshot
+from repro.txpool.pool import TxPool
+from repro.txpool.transaction import Transaction
+
+__all__ = ["BatchOCCConfig", "BatchOCCResult", "BatchOCCProposer"]
+
+
+@dataclass(frozen=True)
+class BatchOCCConfig:
+    lanes: int = 16
+    gas_limit: int = 30_000_000
+    max_txs: Optional[int] = None
+    #: per-round synchronisation barrier cost (µs)
+    round_barrier: float = 3.0
+    #: safety valve against pathological retry loops
+    max_rounds: int = 10_000
+
+
+@dataclass
+class BatchOCCResult:
+    committed: List[Transaction]
+    results: List[TxResult]
+    rwsets: List[ReadWriteSet]
+    stats: RunStats
+    post_state: StateSnapshot
+    rounds: int
+    total_fees: int
+    invalid_dropped: int
+
+    @property
+    def gas_used(self) -> int:
+        return sum(r.gas_used for r in self.results)
+
+
+class BatchOCCProposer:
+    """Deterministic round-based OCC block building."""
+
+    def __init__(
+        self,
+        evm: Optional[EVM] = None,
+        config: Optional[BatchOCCConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.evm = evm or EVM()
+        self.config = config or BatchOCCConfig()
+        self.cost_model = cost_model or CostModel()
+
+    def propose(
+        self, base: StateSnapshot, pool: TxPool, ctx: ExecutionContext
+    ) -> BatchOCCResult:
+        cfg = self.config
+        model = self.cost_model
+
+        db = StateDB(base)  # committed state, advanced round by round
+        committed: List[Transaction] = []
+        results: List[TxResult] = []
+        rwsets: List[ReadWriteSet] = []
+        cur_gas = 0
+        total_fees = 0
+        invalid_dropped = 0
+        aborts = 0
+        executions = 0
+        total_work = 0.0
+        clock = 0.0
+        rounds = 0
+
+        def block_full() -> bool:
+            if cur_gas >= cfg.gas_limit:
+                return True
+            return cfg.max_txs is not None and len(committed) >= cfg.max_txs
+
+        while not block_full() and rounds < cfg.max_rounds:
+            # ---- select up to `lanes` ready transactions ---------------- #
+            batch: List[Transaction] = []
+            while len(batch) < cfg.lanes:
+                tx = pool.pop_best()
+                if tx is None:
+                    break
+                batch.append(tx)
+            if not batch:
+                break
+            rounds += 1
+
+            # ---- speculative execution against the round snapshot -------- #
+            round_snapshot = db.commit()
+            speculative = []
+            round_exec_costs = []
+            for tx in batch:
+                scratch = RecordingState(StateDB(round_snapshot))
+                try:
+                    result = self.evm.apply_transaction(scratch, tx, ctx)
+                except InvalidTransaction:
+                    speculative.append((tx, None, None))
+                    round_exec_costs.append(model.tx_overhead)
+                    continue
+                executions += 1
+                cost = model.tx_cost(result.trace)
+                round_exec_costs.append(cost)
+                speculative.append((tx, result, scratch.rw))
+
+            # the barrier: the round lasts as long as its slowest lane
+            round_time = max(round_exec_costs) + cfg.round_barrier
+            total_work += sum(round_exec_costs)
+
+            # ---- deterministic validation in priority order --------------- #
+            written_this_round: set = set()
+            commit_count = 0
+            for tx, result, rw in speculative:
+                if result is None:
+                    pool.drop(tx)
+                    invalid_dropped += 1
+                    continue
+                if block_full():
+                    pool.push_back(tx)
+                    continue
+                if any(key in written_this_round for key in rw.reads):
+                    # deterministic abort: retry next round
+                    aborts += 1
+                    pool.push_back(tx)
+                    continue
+                # commit: re-execute against the authoritative state so the
+                # committed sequence is self-consistent
+                rec = RecordingState(db)
+                final_result = self.evm.apply_transaction(rec, tx, ctx)
+                committed.append(tx)
+                results.append(final_result)
+                rwsets.append(rec.rw)
+                cur_gas += final_result.gas_used
+                total_fees += final_result.fee
+                written_this_round.update(rw.writes)
+                pool.mark_packed(tx)
+                commit_count += 1
+
+            clock += round_time + model.commit_overhead * commit_count
+
+        post_state = db.commit()
+        stats = RunStats(
+            makespan=clock,
+            total_work=total_work,
+            lanes=cfg.lanes,
+            tasks=executions,
+            aborts=aborts,
+            extra={"rounds": rounds, "committed": len(committed)},
+        )
+        return BatchOCCResult(
+            committed=committed,
+            results=results,
+            rwsets=rwsets,
+            stats=stats,
+            post_state=post_state,
+            rounds=rounds,
+            total_fees=total_fees,
+            invalid_dropped=invalid_dropped,
+        )

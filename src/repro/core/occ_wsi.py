@@ -1,0 +1,281 @@
+"""OCC-WSI: the proposer's optimistic parallel execution (Algorithm 1).
+
+Worker threads repeatedly pop the best pending transaction, execute it
+against a **snapshot** of the state at the version current when they
+started, and validate at commit time against the **reserve table**: if any
+key in the transaction's read set carries a version newer than the
+snapshot, the transaction aborts back to the pool (``PushHeap``).
+Write-write conflicts do not abort — that is the Write-Snapshot-Isolation
+relaxation (§4.2): blind writes still serialize in commit order.
+
+The run is a discrete-event simulation over simulated lanes, but every
+transaction *really executes* (through the EVM against a multi-version
+view), so aborts, retries, read/write sets and the final state are real;
+only durations are modelled.  The committed sequence is serializable by
+construction: each committed transaction read only data at or before its
+snapshot version and nothing it read changed before its commit — replaying
+commits serially in commit order reproduces the identical state (a
+property the test suite checks).
+
+Commits are serialised through a single critical section ("Synchronize
+with all worker threads", Algorithm 1 line 23); that serial section plus
+wasted aborted work is what bends the proposer's scaling curve (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
+from repro.simcore.costmodel import CostModel
+from repro.simcore.events import EventQueue
+from repro.simcore.stats import RunStats
+from repro.state.access import ReadWriteSet, RecordingState, StateKey
+from repro.state.statedb import StateDB, StateSnapshot
+from repro.state.versioned import MultiVersionStore, OCCStateView
+from repro.txpool.pool import TxPool
+from repro.txpool.transaction import Transaction
+
+__all__ = ["ProposerConfig", "CommittedTx", "ProposalResult", "OCCWSIProposer", "materialize_store"]
+
+
+@dataclass(frozen=True)
+class ProposerConfig:
+    """Proposer knobs: worker thread count and block capacity."""
+
+    lanes: int = 16
+    gas_limit: int = 30_000_000
+    max_txs: Optional[int] = None
+    #: Safety valve: abandon a transaction after this many aborts (a real
+    #: proposer would rather ship the block than spin; never hit in
+    #: practice because the pool drains).
+    max_retries: int = 1000
+
+
+@dataclass
+class CommittedTx:
+    """One transaction packed into the block, in commit order."""
+
+    tx: Transaction
+    result: TxResult
+    rw: ReadWriteSet
+    version: int  # 1-based position in the block
+    snapshot_version: int
+    commit_time: float
+    cost: float
+
+
+@dataclass
+class ProposalResult:
+    """Outcome of one OCC-WSI proposing run."""
+
+    committed: List[CommittedTx]
+    stats: RunStats
+    store: MultiVersionStore
+    base: StateSnapshot
+    total_fees: int
+    invalid_dropped: int
+    retries_exhausted: int = 0
+
+    @property
+    def gas_used(self) -> int:
+        return sum(c.result.gas_used for c in self.committed)
+
+    def final_state(self, coinbase=None) -> StateSnapshot:
+        """Materialise the committed writes (plus deferred fees) onto the base."""
+        snapshot = materialize_store(self.base, self.store)
+        if coinbase is not None and self.total_fees:
+            db = StateDB(snapshot)
+            db.add_balance(coinbase, self.total_fees)
+            snapshot = db.commit()
+        return snapshot
+
+
+def materialize_store(base: StateSnapshot, store: MultiVersionStore) -> StateSnapshot:
+    """Apply the latest committed value of every key onto ``base``."""
+    db = StateDB(base)
+    for key, value in store.final_values().items():
+        if key.kind == "balance":
+            db.set_balance(key.address, value)
+        elif key.kind == "nonce":
+            db.set_nonce(key.address, value)
+        elif key.kind == "storage":
+            db.set_storage(key.address, key.slot, value)
+        elif key.kind == "code":
+            db.set_code(key.address, value)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown key kind {key.kind}")
+    return db.commit()
+
+
+class OCCWSIProposer:
+    """Algorithm 1 driver.
+
+    One instance is reusable across blocks; each :meth:`propose` call is
+    independent (the multi-version store and reserve table are per-run).
+    """
+
+    def __init__(
+        self,
+        evm: Optional[EVM] = None,
+        config: Optional[ProposerConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.evm = evm or EVM()
+        self.config = config or ProposerConfig()
+        self.cost_model = cost_model or CostModel()
+
+    def propose(
+        self,
+        base: StateSnapshot,
+        pool: TxPool,
+        ctx: ExecutionContext,
+    ) -> ProposalResult:
+        """Run parallel block building until the gas limit or pool exhaustion."""
+        cfg = self.config
+        model = self.cost_model
+
+        store = MultiVersionStore(base)
+        reserve: Dict[StateKey, int] = {}  # Algorithm 1's Table
+        committed: List[CommittedTx] = []
+        retry_counts: Dict[object, int] = {}
+
+        queue = EventQueue()
+        idle: Set[int] = set()
+        for lane in range(cfg.lanes):
+            queue.push(0.0, ("free", lane))
+
+        cur_gas = 0
+        total_fees = 0
+        invalid_dropped = 0
+        retries_exhausted = 0
+        aborts = 0
+        executions = 0
+        total_work = 0.0
+        last_commit_end = 0.0
+        commit_free = 0.0
+
+        def block_full() -> bool:
+            if cur_gas >= cfg.gas_limit:
+                return True
+            return cfg.max_txs is not None and len(committed) >= cfg.max_txs
+
+        def wake_idle(now: float) -> None:
+            while idle and pool.has_ready():
+                lane = min(idle)
+                idle.discard(lane)
+                queue.push(now, ("free", lane))
+
+        for event in queue.drain():
+            now = event.time
+            payload = event.payload
+            kind = payload[0]
+
+            if kind == "free":
+                lane = payload[1]
+                if block_full():
+                    idle.add(lane)
+                    continue
+                tx = pool.pop_best()
+                if tx is None:
+                    idle.add(lane)
+                    continue
+                snapshot_version = store.committed_version
+                view = OCCStateView(store, snapshot_version)
+                rec = RecordingState(view, version=snapshot_version)
+                try:
+                    result = self.evm.apply_transaction(rec, tx, ctx)
+                except InvalidTransaction:
+                    pool.drop(tx)
+                    invalid_dropped += 1
+                    queue.push(now + model.tx_overhead, ("free", lane))
+                    continue
+                executions += 1
+                cost = model.tx_cost(result.trace)
+                total_work += cost
+                queue.push(
+                    now + cost,
+                    ("finish", lane, tx, view, rec, result, snapshot_version),
+                )
+                continue
+
+            # kind == "finish"
+            _, lane, tx, view, rec, result, snapshot_version = payload
+
+            if block_full():
+                # block sealed while this execution was in flight: the work
+                # is wasted; the transaction returns to the pool for the
+                # next block
+                pool.push_back(tx)
+                idle.add(lane)
+                continue
+
+            conflict = any(
+                reserve.get(key, 0) > snapshot_version for key in rec.rw.reads
+            )
+            if conflict:
+                aborts += 1
+                retry_counts[tx.hash] = retry_counts.get(tx.hash, 0) + 1
+                if retry_counts[tx.hash] >= cfg.max_retries:
+                    pool.drop(tx)
+                    retries_exhausted += 1
+                else:
+                    pool.push_back(tx)
+                queue.push(now + model.abort_overhead, ("free", lane))
+                wake_idle(now)
+                continue
+
+            # commit: serialised critical section plus the line-23 barrier,
+            # whose cost scales with the worker count
+            commit_start = max(now, commit_free)
+            commit_end = (
+                commit_start
+                + model.commit_overhead
+                + model.commit_sync_per_lane * cfg.lanes
+            )
+            commit_free = commit_end
+            last_commit_end = commit_end
+
+            version = store.committed_version + 1
+            store.apply(view.buffered_writes, version)
+            for key in rec.rw.writes:
+                reserve[key] = version
+            committed.append(
+                CommittedTx(
+                    tx=tx,
+                    result=result,
+                    rw=rec.rw,
+                    version=version,
+                    snapshot_version=snapshot_version,
+                    commit_time=commit_end,
+                    cost=model.tx_cost(result.trace),
+                )
+            )
+            cur_gas += result.gas_used
+            total_fees += result.fee
+            pool.mark_packed(tx)
+            queue.push(commit_end, ("free", lane))
+            wake_idle(commit_end)
+
+        stats = RunStats(
+            makespan=last_commit_end,
+            total_work=total_work,
+            lanes=cfg.lanes,
+            tasks=executions,
+            aborts=aborts,
+            extra={
+                "committed": len(committed),
+                "invalid_dropped": invalid_dropped,
+                "abort_rate": aborts / executions if executions else 0.0,
+            },
+        )
+        return ProposalResult(
+            committed=committed,
+            stats=stats,
+            store=store,
+            base=base,
+            total_fees=total_fees,
+            invalid_dropped=invalid_dropped,
+            retries_exhausted=retries_exhausted,
+        )

@@ -1,0 +1,171 @@
+"""Block sealing: turn an OCC-WSI run into a broadcast-ready block.
+
+The sealed block carries everything Figure 3 shows leaving the proposer:
+the ordered transactions (commit order = block order), receipts, the
+post-state root, and the **block profile** with each transaction's
+read/write sets and gas — "execution details like read and write sets
+about their transactions in the block profile" (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    BlockProfile,
+    Receipt,
+    TxProfileEntry,
+    receipts_root,
+    transactions_root,
+)
+from repro.chain.bloom import bloom_from_logs
+from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
+from repro.common.types import Address
+from repro.core.occ_wsi import ProposalResult
+from repro.state.statedb import StateDB, StateSnapshot
+
+__all__ = ["SealedProposal", "seal_block", "finalize_fees", "finalize_block_state"]
+
+
+def finalize_block_state(
+    snapshot: StateSnapshot,
+    *,
+    coinbase: Address,
+    total_fees: int,
+    block_number: int = 0,
+    uncles=(),
+    params: ChainParams = DEFAULT_CHAIN_PARAMS,
+) -> StateSnapshot:
+    """Apply end-of-block value flows: deferred fees and rewards.
+
+    Fee payment is aggregated outside per-transaction write sets (see
+    :class:`~repro.evm.interpreter.EVMConfig`); block and uncle rewards
+    follow :class:`~repro.chain.params.ChainParams`.  Proposers apply this
+    when sealing and validators apply the identical update after
+    re-execution, so state roots stay comparable.
+    """
+    proposer_credit = (
+        total_fees + params.block_reward + params.nephew_reward(len(uncles))
+    )
+    uncle_credits = [
+        (u.coinbase, params.uncle_reward(block_number, u.number)) for u in uncles
+    ]
+    if proposer_credit == 0 and not any(r for _, r in uncle_credits):
+        return snapshot
+    db = StateDB(snapshot)
+    if proposer_credit:
+        db.add_balance(coinbase, proposer_credit)
+    for uncle_coinbase, reward in uncle_credits:
+        if reward:
+            db.add_balance(uncle_coinbase, reward)
+    return db.commit()
+
+
+def finalize_fees(
+    snapshot: StateSnapshot, coinbase: Address, total_fees: int
+) -> StateSnapshot:
+    """Back-compat shim: fee-only finalization (zero-reward params)."""
+    return finalize_block_state(
+        snapshot, coinbase=coinbase, total_fees=total_fees
+    )
+
+
+@dataclass(frozen=True)
+class SealedProposal:
+    """A sealed block plus the proposer's local artifacts."""
+
+    block: Block
+    post_state: StateSnapshot
+    proposal: ProposalResult
+
+
+def seal_block(
+    proposal: ProposalResult,
+    parent: BlockHeader,
+    *,
+    coinbase: Address,
+    timestamp: int,
+    gas_limit: int,
+    proposer_id: str = "",
+    include_profile: bool = True,
+    uncles=(),
+    params: ChainParams = DEFAULT_CHAIN_PARAMS,
+) -> SealedProposal:
+    """Assemble header, receipts and profile from a proposing run.
+
+    ``include_profile=False`` produces a legacy block without execution
+    details (the validator must then fall back to pre-execution in its
+    preparation phase — an ablation the benchmarks exercise).
+    """
+    committed = proposal.committed
+    txs = tuple(c.tx for c in committed)
+
+    receipts = []
+    cumulative = 0
+    for c in committed:
+        cumulative += c.result.gas_used
+        receipts.append(
+            Receipt(
+                tx_hash=c.tx.hash,
+                success=c.result.success,
+                gas_used=c.result.gas_used,
+                cumulative_gas=cumulative,
+                log_count=len(c.result.logs),
+                logs=tuple(c.result.logs),
+            )
+        )
+    receipts = tuple(receipts)
+
+    profile: Optional[BlockProfile] = None
+    if include_profile:
+        profile = BlockProfile(
+            entries=tuple(
+                TxProfileEntry(
+                    tx_hash=c.tx.hash,
+                    rw=c.rw.freeze(),
+                    gas_used=c.result.gas_used,
+                    success=c.result.success,
+                )
+                for c in committed
+            )
+        )
+
+    if len(uncles) > params.max_uncles:
+        raise ValueError(f"too many uncles: {len(uncles)} > {params.max_uncles}")
+    block_number = parent.number + 1
+    for uncle in uncles:
+        if not params.validate_uncle(block_number, uncle.number):
+            raise ValueError(
+                f"uncle at height {uncle.number} out of range for block {block_number}"
+            )
+    post_state = finalize_block_state(
+        proposal.final_state(),
+        coinbase=coinbase,
+        total_fees=proposal.total_fees,
+        block_number=block_number,
+        uncles=uncles,
+        params=params,
+    )
+
+    logs_bloom = bloom_from_logs(
+        log for c in committed for log in c.result.logs
+    ).to_bytes()
+
+    header = BlockHeader(
+        parent_hash=parent.hash,
+        number=block_number,
+        state_root=post_state.state_root(),
+        transactions_root=transactions_root(txs),
+        receipts_root=receipts_root(receipts),
+        gas_used=proposal.gas_used,
+        gas_limit=gas_limit,
+        coinbase=coinbase,
+        timestamp=timestamp,
+        proposer_id=proposer_id,
+        logs_bloom=logs_bloom,
+    )
+    block = Block(header, txs, receipts, profile, uncles=tuple(uncles))
+    return SealedProposal(block=block, post_state=post_state, proposal=proposal)

@@ -1,0 +1,407 @@
+"""Single-block parallel validation (§4.3's four phases, for one block).
+
+Phases and their timing model:
+
+1. **Preparation** — the scheduler builds the dependency graph from the
+   block profile and assigns subgraphs to worker threads by gas-LPT.
+   Cost: ``schedule_per_tx × n`` on the control lane.
+2. **Transaction execution** — each worker lane runs its subgraphs; a
+   transaction's duration comes from its *actual* executed opcode trace,
+   so gas-based assignment is an estimate, not an oracle (§5.4).
+3. **Block validation** — the applier consumes results **in block order**
+   (commits must follow the proposer's schedule, §3.3): transaction *i*
+   is applied only after it finished executing *and* transaction *i-1*
+   was applied.  Each application costs ``applier_per_tx``; the final
+   state-root comparison costs ``block_epilogue``.
+4. **Block commitment** — constant ``block_commit``.
+
+Correctness is real, not simulated: every transaction re-executes through
+the EVM against the parent state, the applier performs Algorithm 2's
+rw-set checks against the profile, and the recomputed state root must
+match the header.  Because subgraphs are account-disjoint (conservative
+account-level conflicts), re-executing in block order yields the identical
+state any conflict-respecting parallel interleaving would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.chain.block import Block, Receipt
+from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
+from repro.core.applier import Applier, ProfileMismatch
+from repro.core.depgraph import DependencyGraph, build_dependency_graph
+from repro.core.proposer import finalize_block_state
+from repro.core.scheduler import SchedulePlan, schedule_components
+from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
+from repro.simcore.costmodel import CostModel
+from repro.simcore.stats import RunStats
+from repro.state.access import ReadWriteSet, RecordingState
+from repro.state.statedb import StateDB, StateSnapshot
+
+__all__ = ["ValidatorConfig", "PhaseTimes", "ValidationResult", "ParallelValidator"]
+
+
+@dataclass(frozen=True)
+class ValidatorConfig:
+    """Validator knobs."""
+
+    lanes: int = 16
+    policy: str = "gas_lpt"
+    seed: int = 0
+    #: Verify rw-sets against the profile (Algorithm 2).  Disabling this is
+    #: an ablation: execution still happens, only the checks are skipped.
+    verify_profile: bool = True
+    #: When a block arrives without a profile, derive footprints by serial
+    #: pre-execution in the preparation phase instead of rejecting.
+    preexecute_fallback: bool = False
+    #: Consensus constants (rewards, uncle policy) — must equal the
+    #: proposer's or state roots diverge, as on a real network.
+    params: ChainParams = DEFAULT_CHAIN_PARAMS
+    #: Prefetch all storage slots named in the block profile before
+    #: execution (geth's prefetcher, §5.4).  When off, every storage read
+    #: pays the cold I/O penalty instead.
+    prefetch: bool = True
+    #: Conflict-detection granularity for the dependency graph.  The paper
+    #: uses ``"account"`` (§4.3: balances change in every transaction and
+    #: storage writes update the account's MPT node).  ``"key"`` treats
+    #: exact state keys as the unit — finer, more parallel, but unsound
+    #: for account-root maintenance; provided as an ablation.
+    granularity: str = "account"
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Completion time of each pipeline phase (µs of simulated time)."""
+
+    prep_end: float
+    exec_end: float
+    validate_end: float
+    commit_end: float
+
+
+@dataclass
+class ValidationResult:
+    """Everything a validation run produced.
+
+    ``tx_costs``/``exec_ends`` are exposed so the multi-block pipeline can
+    re-simulate timing globally without re-executing transactions.
+    """
+
+    accepted: bool
+    reason: Optional[str]
+    post_state: Optional[StateSnapshot]
+    graph: Optional[DependencyGraph]
+    plan: Optional[SchedulePlan]
+    tx_costs: List[float]
+    tx_results: List[TxResult]
+    tx_rwsets: List[ReadWriteSet]
+    phases: Optional[PhaseTimes]
+    serial_time: float
+    stats: Optional[RunStats]
+    prep_cost: float = 0.0
+
+    @property
+    def makespan(self) -> float:
+        return self.phases.commit_end if self.phases else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        if not self.phases or self.phases.commit_end <= 0:
+            return 1.0
+        return self.serial_time / self.phases.commit_end
+
+
+class ParallelValidator:
+    """BlockPilot's validator for a single block."""
+
+    def __init__(
+        self,
+        evm: Optional[EVM] = None,
+        config: Optional[ValidatorConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.evm = evm or EVM()
+        self.config = config or ValidatorConfig()
+        self.cost_model = cost_model or CostModel()
+        self.applier = Applier()
+
+    # ------------------------------------------------------------------ #
+
+    def validate_block(
+        self,
+        block: Block,
+        parent_state: StateSnapshot,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> ValidationResult:
+        """Re-execute and verify one block against its parent state.
+
+        The execution context defaults to the block's own header fields —
+        re-execution must happen under the proposer's context or results
+        (COINBASE/NUMBER/TIMESTAMP reads) would diverge.
+        """
+        if ctx is None:
+            ctx = ExecutionContext(
+                block_number=block.header.number,
+                timestamp=block.header.timestamp,
+                coinbase=block.header.coinbase,
+                gas_limit=block.header.gas_limit,
+            )
+        model = self.cost_model
+        n = len(block.transactions)
+
+        def rejected(reason: str, **kwargs) -> ValidationResult:
+            return ValidationResult(
+                accepted=False,
+                reason=reason,
+                post_state=None,
+                graph=kwargs.get("graph"),
+                plan=kwargs.get("plan"),
+                tx_costs=kwargs.get("tx_costs", []),
+                tx_results=kwargs.get("tx_results", []),
+                tx_rwsets=kwargs.get("tx_rwsets", []),
+                phases=None,
+                serial_time=kwargs.get("serial_time", 0.0),
+                stats=None,
+            )
+
+        try:
+            block.validate_structure()
+        except ValueError as exc:
+            return rejected(f"structure: {exc}")
+
+        params = self.config.params
+        if block.header.gas_used > block.header.gas_limit:
+            return rejected(
+                f"block gas {block.header.gas_used} exceeds limit "
+                f"{block.header.gas_limit}"
+            )
+        if len(block.uncles) > params.max_uncles:
+            return rejected(f"too many uncles: {len(block.uncles)}")
+        for uncle in block.uncles:
+            if not params.validate_uncle(block.number, uncle.number):
+                return rejected(
+                    f"uncle at height {uncle.number} invalid for block {block.number}"
+                )
+
+        # ----- real execution (block order; subgraphs are disjoint) ------ #
+        db = StateDB(parent_state)
+        tx_results: List[TxResult] = []
+        tx_rwsets: List[ReadWriteSet] = []
+        tx_costs: List[float] = []
+        total_fees = 0
+        total_gas = 0
+        for index, tx in enumerate(block.transactions):
+            rec = RecordingState(db)
+            try:
+                result = self.evm.apply_transaction(rec, tx, ctx)
+            except InvalidTransaction as exc:
+                return rejected(
+                    f"invalid tx {index}: {exc}",
+                    tx_results=tx_results,
+                    tx_rwsets=tx_rwsets,
+                    tx_costs=tx_costs,
+                )
+            tx_results.append(result)
+            tx_rwsets.append(rec.rw)
+            tx_costs.append(model.tx_cost(result.trace))
+            total_fees += result.fee
+            total_gas += result.gas_used
+
+        # storage I/O model (§5.4): either the preparation phase prefetches
+        # every slot the profile names, or each read pays the cold path
+        storage_reads = [
+            sum(1 for key in rw.reads if key.kind == "storage")
+            for rw in tx_rwsets
+        ]
+        prefetch_cost = 0.0
+        if self.config.prefetch:
+            distinct_slots = {
+                key
+                for rw in tx_rwsets
+                for key in rw.reads
+                if key.kind == "storage"
+            }
+            prefetch_cost = model.prefetch_per_slot * len(distinct_slots)
+        else:
+            tx_costs = [
+                cost + model.cold_storage_read * reads
+                for cost, reads in zip(tx_costs, storage_reads)
+            ]
+
+        # the serial baseline also runs the prefetcher (§5.4: "to ensure a
+        # fair comparison"), so it pays the same prefetch cost
+        serial_time = (
+            prefetch_cost
+            + sum(tx_costs)
+            + model.applier_per_tx * n
+            + model.block_epilogue
+            + model.block_commit
+        )
+
+        # ----- preparation phase: dependency graph + schedule ------------- #
+        profile = block.profile
+        prep_cost = model.schedule_per_tx * n + prefetch_cost
+        granularity = self.config.granularity
+        if granularity not in ("account", "key"):
+            return rejected(f"unknown conflict granularity {granularity!r}")
+
+        def footprint_of(read_keys, write_keys, addresses):
+            if granularity == "account":
+                return addresses
+            return frozenset(read_keys) | frozenset(write_keys)
+
+        if profile is not None:
+            footprints = [
+                footprint_of(
+                    e.rw.read_keys(), e.rw.write_keys(), e.rw.touched_addresses()
+                )
+                for e in profile.entries
+            ]
+            gas_estimates = [e.gas_used for e in profile.entries]
+        elif self.config.preexecute_fallback:
+            # no profile: the validator pays a serial pre-execution to learn
+            # the footprints (legacy-block path)
+            footprints = [
+                footprint_of(rw.reads.keys(), rw.writes.keys(), rw.touched_addresses())
+                for rw in tx_rwsets
+            ]
+            gas_estimates = [r.gas_used for r in tx_results]
+            prep_cost += sum(tx_costs)
+        else:
+            return rejected(
+                "missing block profile",
+                tx_results=tx_results,
+                tx_rwsets=tx_rwsets,
+                tx_costs=tx_costs,
+                serial_time=serial_time,
+            )
+
+        graph = build_dependency_graph(footprints, gas_estimates)
+        plan = schedule_components(
+            graph, self.config.lanes, self.config.policy, self.config.seed
+        )
+
+        # ----- profile verification (Algorithm 2) -------------------------- #
+        if profile is not None and self.config.verify_profile:
+            try:
+                for index in range(n):
+                    self.applier.verify_tx(
+                        index, profile.entries[index], tx_rwsets[index], tx_results[index]
+                    )
+            except ProfileMismatch as exc:
+                return rejected(
+                    f"profile mismatch: {exc}",
+                    graph=graph,
+                    plan=plan,
+                    tx_results=tx_results,
+                    tx_rwsets=tx_rwsets,
+                    tx_costs=tx_costs,
+                    serial_time=serial_time,
+                )
+
+        # ----- block-level checks ------------------------------------------ #
+        post_state = finalize_block_state(
+            db.commit(),
+            coinbase=block.header.coinbase,
+            total_fees=total_fees,
+            block_number=block.number,
+            uncles=block.uncles,
+            params=params,
+        )
+        receipts = _rebuild_receipts(block, tx_results)
+        all_logs = [log for r in tx_results for log in r.logs]
+        outcome = self.applier.verify_block(
+            block, post_state, receipts, total_gas, computed_logs=all_logs
+        )
+        if not outcome.accepted:
+            return rejected(
+                outcome.reason or "block verification failed",
+                graph=graph,
+                plan=plan,
+                tx_results=tx_results,
+                tx_rwsets=tx_rwsets,
+                tx_costs=tx_costs,
+                serial_time=serial_time,
+            )
+
+        # ----- timing simulation ------------------------------------------- #
+        phases, stats = self._simulate_timing(plan, tx_costs, prep_cost)
+
+        return ValidationResult(
+            accepted=True,
+            reason=None,
+            post_state=post_state,
+            graph=graph,
+            plan=plan,
+            tx_costs=tx_costs,
+            tx_results=tx_results,
+            tx_rwsets=tx_rwsets,
+            phases=phases,
+            serial_time=serial_time,
+            stats=stats,
+            prep_cost=prep_cost,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _simulate_timing(
+        self,
+        plan: SchedulePlan,
+        tx_costs: List[float],
+        prep_cost: float,
+    ) -> Tuple[PhaseTimes, RunStats]:
+        """Derive the four phase-completion times for one standalone block."""
+        model = self.cost_model
+        n = len(tx_costs)
+
+        # execution phase: each lane runs its tx sequence after preparation
+        exec_end = [0.0] * n
+        lane_ends = []
+        for lane_sequence in plan.lane_txs:
+            t = prep_cost
+            for tx_index in lane_sequence:
+                t += tx_costs[tx_index]
+                exec_end[tx_index] = t
+            lane_ends.append(t)
+        exec_phase_end = max(lane_ends) if lane_ends else prep_cost
+
+        # validation phase: applier consumes results in block order
+        applied = prep_cost
+        for index in range(n):
+            applied = max(applied, exec_end[index]) + model.applier_per_tx
+        validate_end = applied + model.block_epilogue
+        commit_end = validate_end + model.block_commit
+
+        phases = PhaseTimes(
+            prep_end=prep_cost,
+            exec_end=exec_phase_end,
+            validate_end=validate_end,
+            commit_end=commit_end,
+        )
+        stats = RunStats(
+            makespan=commit_end,
+            total_work=sum(tx_costs),
+            lanes=plan.lanes,
+            tasks=n,
+        )
+        return phases, stats
+
+
+def _rebuild_receipts(block: Block, tx_results: List[TxResult]) -> List[Receipt]:
+    receipts = []
+    cumulative = 0
+    for tx, result in zip(block.transactions, tx_results):
+        cumulative += result.gas_used
+        receipts.append(
+            Receipt(
+                tx_hash=tx.hash,
+                success=result.success,
+                gas_used=result.gas_used,
+                cumulative_gas=cumulative,
+                log_count=len(result.logs),
+                logs=tuple(result.logs),
+            )
+        )
+    return receipts

@@ -1,0 +1,172 @@
+"""A small EVM assembler for authoring workload contracts.
+
+The workload layer writes the paper's hotspot contracts (ERC-20 transfers,
+AMM swaps, NFT mints — §5.5's DeFi/NFT/token-distribution patterns) in a
+readable mnemonic form rather than raw byte strings.  Two-pass assembly:
+labels are collected first, then jump targets are patched as fixed-width
+``PUSH2`` immediates, so forward references work.
+
+Example::
+
+    a = Assembler()
+    a.push(0).op("CALLDATALOAD")
+    a.push(4).op("SHR")  # etc.
+    a.jumpi_to("transfer")
+    a.op("STOP")
+    a.label("transfer")
+    ...
+    code = a.assemble()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.evm.opcodes import opcode_by_name
+
+__all__ = ["Assembler", "asm", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """Malformed assembly program (unknown mnemonic, duplicate label...)."""
+
+
+class _LabelRef:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class Assembler:
+    """Two-pass assembler with auto-sized pushes and label resolution."""
+
+    def __init__(self) -> None:
+        # each item: bytes (literal code) | _LabelRef (2-byte placeholder
+        # preceded by an emitted PUSH2) | ("label", name)
+        self._items: List[Union[bytes, _LabelRef, Tuple[str, str]]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def op(self, name: str) -> "Assembler":
+        """Emit a plain opcode by mnemonic."""
+        try:
+            opcode = opcode_by_name(name)
+        except KeyError:
+            raise AssemblyError(f"unknown mnemonic {name!r}") from None
+        if name.upper().startswith("PUSH"):
+            raise AssemblyError("use push(value) for PUSH opcodes")
+        self._items.append(bytes([opcode.code]))
+        return self
+
+    def push(self, value: int, width: Optional[int] = None) -> "Assembler":
+        """Emit the narrowest PUSH for ``value`` (or a fixed ``width``)."""
+        if value < 0:
+            raise AssemblyError("cannot push negative values")
+        needed = max(1, (value.bit_length() + 7) // 8)
+        width = width or needed
+        if width < needed or width > 32:
+            raise AssemblyError(f"push width {width} cannot hold {value}")
+        opcode = 0x60 + width - 1
+        self._items.append(bytes([opcode]) + value.to_bytes(width, "big"))
+        return self
+
+    def push_bytes(self, data: bytes) -> "Assembler":
+        """PUSH the bytes as a right-aligned word (max 32 bytes)."""
+        if not 1 <= len(data) <= 32:
+            raise AssemblyError("push_bytes takes 1..32 bytes")
+        self._items.append(bytes([0x60 + len(data) - 1]) + data)
+        return self
+
+    def label(self, name: str) -> "Assembler":
+        """Define a jump destination here (emits JUMPDEST)."""
+        self._items.append(("label", name))
+        return self
+
+    def push_label(self, name: str) -> "Assembler":
+        """PUSH2 the address of a label (resolved at assembly)."""
+        self._items.append(_LabelRef(name))
+        return self
+
+    def jump_to(self, name: str) -> "Assembler":
+        return self.push_label(name).op("JUMP")
+
+    def jumpi_to(self, name: str) -> "Assembler":
+        return self.push_label(name).op("JUMPI")
+
+    def raw(self, data: bytes) -> "Assembler":
+        """Splice raw bytes (escape hatch for tests)."""
+        self._items.append(bytes(data))
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def assemble(self) -> bytes:
+        """Resolve labels and produce bytecode."""
+        # pass 1: lay out offsets
+        offsets: Dict[str, int] = {}
+        pos = 0
+        for item in self._items:
+            if isinstance(item, tuple):
+                name = item[1]
+                if name in offsets:
+                    raise AssemblyError(f"duplicate label {name!r}")
+                offsets[name] = pos
+                pos += 1  # JUMPDEST byte
+            elif isinstance(item, _LabelRef):
+                pos += 3  # PUSH2 + 2 bytes
+            else:
+                pos += len(item)
+        # pass 2: emit
+        out = bytearray()
+        for item in self._items:
+            if isinstance(item, tuple):
+                out.append(0x5B)  # JUMPDEST
+            elif isinstance(item, _LabelRef):
+                target = offsets.get(item.name)
+                if target is None:
+                    raise AssemblyError(f"undefined label {item.name!r}")
+                out.append(0x61)  # PUSH2
+                out += target.to_bytes(2, "big")
+            else:
+                out += item
+        return bytes(out)
+
+
+def asm(program: Sequence) -> bytes:
+    """Assemble a compact program description.
+
+    Items may be:
+
+    * an ``int`` — auto-sized PUSH;
+    * a mnemonic ``str`` — plain opcode;
+    * ``(":", name)`` — define a label;
+    * ``("@", name)`` — push a label address;
+    * ``("jump", name)`` / ``("jumpi", name)`` — push-and-jump;
+    * ``bytes`` — raw splice.
+    """
+    a = Assembler()
+    for item in program:
+        if isinstance(item, bool):
+            raise AssemblyError("booleans are not assembly items")
+        if isinstance(item, int):
+            a.push(item)
+        elif isinstance(item, str):
+            a.op(item)
+        elif isinstance(item, bytes):
+            a.raw(item)
+        elif isinstance(item, tuple) and len(item) == 2:
+            kind, name = item
+            if kind == ":":
+                a.label(name)
+            elif kind == "@":
+                a.push_label(name)
+            elif kind == "jump":
+                a.jump_to(name)
+            elif kind == "jumpi":
+                a.jumpi_to(name)
+            else:
+                raise AssemblyError(f"unknown directive {kind!r}")
+        else:
+            raise AssemblyError(f"bad assembly item {item!r}")
+    return a.assemble()

@@ -1,0 +1,76 @@
+"""Bytecode disassembler — debugging/tooling companion to the assembler.
+
+``disassemble`` walks code the same way the interpreter's jump-dest scan
+does: PUSH immediates are consumed as data; anything not in the opcode
+table is rendered as ``INVALID(0xXX)``.  ``format_disassembly`` renders a
+listing with program counters, which the test-suite and docs use to make
+contract bytecode inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.evm.opcodes import OPCODES
+
+__all__ = ["Instruction", "disassemble", "format_disassembly"]
+
+
+class Instruction(NamedTuple):
+    """One decoded instruction."""
+
+    pc: int
+    name: str
+    immediate: Optional[bytes]  # PUSH payload (possibly truncated at EOF)
+
+    def render(self) -> str:
+        if self.immediate is not None:
+            return f"{self.name} 0x{self.immediate.hex()}"
+        return self.name
+
+
+def disassemble(code: bytes) -> List[Instruction]:
+    """Decode bytecode into a flat instruction list."""
+    out: List[Instruction] = []
+    i = 0
+    n = len(code)
+    while i < n:
+        byte = code[i]
+        op = OPCODES.get(byte)
+        if op is None:
+            out.append(Instruction(i, f"INVALID(0x{byte:02x})", None))
+            i += 1
+            continue
+        if 0x60 <= byte <= 0x7F:
+            width = byte - 0x60 + 1
+            immediate = code[i + 1 : i + 1 + width]
+            out.append(Instruction(i, op.name, immediate))
+            i += 1 + width
+        else:
+            out.append(Instruction(i, op.name, None))
+            i += 1
+    return out
+
+
+def format_disassembly(code: bytes, *, show_jumpdests: bool = True) -> str:
+    """Render a listing; jump destinations are marked for readability."""
+    lines = []
+    for ins in disassemble(code):
+        marker = ">" if show_jumpdests and ins.name == "JUMPDEST" else " "
+        lines.append(f"{marker}{ins.pc:5d}  {ins.render()}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def reassembles_identically(code: bytes) -> bool:
+    """Check disassemble→reassemble is the identity (tooling sanity)."""
+    out = bytearray()
+    for ins in disassemble(code):
+        if ins.name.startswith("INVALID"):
+            out.append(int(ins.name[10:-1], 16))
+            continue
+        from repro.evm.opcodes import opcode_by_name
+
+        out.append(opcode_by_name(ins.name).code)
+        if ins.immediate is not None:
+            out += ins.immediate
+    return bytes(out) == code

@@ -1,0 +1,66 @@
+"""The 256-bit operand stack (max depth 1024, yellow-paper limits)."""
+
+from __future__ import annotations
+
+from repro.common.types import U256_MASK
+
+__all__ = ["Stack", "StackError"]
+
+MAX_DEPTH = 1024
+
+
+class StackError(Exception):
+    """Underflow or overflow; the executing frame fails."""
+
+
+class Stack:
+    """Operand stack of u256 words.
+
+    Values are plain ints already reduced into ``[0, 2**256)``; ``push``
+    masks defensively so handler bugs cannot leak wide integers.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, value: int) -> None:
+        if len(self._items) >= MAX_DEPTH:
+            raise StackError("stack overflow")
+        self._items.append(value & U256_MASK)
+
+    def pop(self) -> int:
+        if not self._items:
+            raise StackError("stack underflow")
+        return self._items.pop()
+
+    def pop_n(self, n: int) -> list[int]:
+        """Pop ``n`` items; result[0] is the top of stack."""
+        if len(self._items) < n:
+            raise StackError(f"stack underflow: need {n}, have {len(self._items)}")
+        out = self._items[-n:][::-1]
+        del self._items[-n:]
+        return out
+
+    def peek(self, depth: int = 0) -> int:
+        """Read the item ``depth`` positions below the top without popping."""
+        if depth >= len(self._items):
+            raise StackError("peek beyond stack depth")
+        return self._items[-1 - depth]
+
+    def dup(self, n: int) -> None:
+        """DUPn: push a copy of the n-th item (1-based from the top)."""
+        if n > len(self._items):
+            raise StackError(f"DUP{n} underflow")
+        self.push(self._items[-n])
+
+    def swap(self, n: int) -> None:
+        """SWAPn: exchange the top with the (n+1)-th item."""
+        if n + 1 > len(self._items):
+            raise StackError(f"SWAP{n} underflow")
+        items = self._items
+        items[-1], items[-1 - n] = items[-1 - n], items[-1]

@@ -1,0 +1,22 @@
+"""Node roles and the dissemination model.
+
+Glue layer binding the DiCE contexts together (paper §3.2, Figure 1):
+:class:`ProposerNode` builds blocks with OCC-WSI and seals them with a
+profile; :class:`ValidatorNode` owns a chain and feeds received blocks
+through the pipeline; :class:`ForkSimulator` produces the multi-proposer
+same-height block sets that give validators more work than proposers
+(§3.4).
+"""
+
+from repro.network.node import ProposerNode, ValidatorNode
+from repro.network.dissemination import ForkSimulator
+from repro.network.simnet import NetworkConfig, NetworkResult, NetworkSimulation
+
+__all__ = [
+    "ProposerNode",
+    "ValidatorNode",
+    "ForkSimulator",
+    "NetworkConfig",
+    "NetworkResult",
+    "NetworkSimulation",
+]

@@ -1,0 +1,109 @@
+"""Fork production: competing proposers at the same height (§3.4).
+
+"When two proposers produce blocks at roughly the same time, validators
+may receive multiple blocks at the same height."  The simulator gives K
+proposers overlapping views of the pending pool (identical by default)
+and distinct tie-breaking, yielding K valid sibling blocks with different
+serializable orders — exactly the validator workload of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.chain.block import Block, BlockHeader
+from repro.core.occ_wsi import ProposerConfig
+from repro.core.proposer import SealedProposal
+from repro.evm.interpreter import EVM
+from repro.network.node import ProposerNode
+from repro.simcore.costmodel import CostModel
+from repro.state.statedb import StateSnapshot
+from repro.txpool.transaction import Transaction
+
+__all__ = ["ForkSimulator"]
+
+
+@dataclass
+class ForkSet:
+    """K sibling proposals over the same parent."""
+
+    proposals: List[SealedProposal]
+
+    @property
+    def blocks(self) -> List[Block]:
+        return [p.block for p in self.proposals]
+
+
+class ForkSimulator:
+    """Produces same-height sibling blocks from independent proposers."""
+
+    def __init__(
+        self,
+        n_proposers: int,
+        *,
+        proposer_config: Optional[ProposerConfig] = None,
+        evm: Optional[EVM] = None,
+        cost_model: Optional[CostModel] = None,
+        pool_overlap: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        if n_proposers < 1:
+            raise ValueError("need at least one proposer")
+        if not 0.0 < pool_overlap <= 1.0:
+            raise ValueError("pool_overlap must be in (0, 1]")
+        self.rng = random.Random(seed)
+        self.pool_overlap = pool_overlap
+        self.proposers = [
+            ProposerNode(
+                f"proposer-{i}",
+                config=proposer_config,
+                evm=evm,
+                cost_model=cost_model,
+            )
+            for i in range(n_proposers)
+        ]
+
+    def propose_forks(
+        self,
+        parent: BlockHeader,
+        parent_state: StateSnapshot,
+        pending: Sequence[Transaction],
+    ) -> ForkSet:
+        """Each proposer builds its own block over the same parent.
+
+        With ``pool_overlap < 1`` each proposer sees a random subset of the
+        pending set (mempools are never perfectly synchronised); insertion
+        order is shuffled per proposer so identical pools still race to
+        different serializable orders.  Per-sender nonce prefixes are
+        preserved when subsetting, otherwise the pool would reject gapped
+        nonces.
+        """
+        proposals = []
+        for node in self.proposers:
+            view = list(pending)
+            if self.pool_overlap < 1.0:
+                view = self._nonce_safe_subset(view)
+            self.rng.shuffle(view)
+            # the pool requires per-sender non-decreasing nonce arrival
+            view.sort(key=lambda tx: tx.nonce)
+            proposals.append(node.build_block(parent, parent_state, view))
+        return ForkSet(proposals)
+
+    def _nonce_safe_subset(self, txs: List[Transaction]) -> List[Transaction]:
+        """Drop a random *suffix* of each sender's transactions.
+
+        Dropping from the tail keeps every sender's nonce sequence gapless,
+        so the subset is a valid mempool view.
+        """
+        by_sender = {}
+        for tx in sorted(txs, key=lambda t: t.nonce):
+            by_sender.setdefault(tx.sender, []).append(tx)
+        kept: List[Transaction] = []
+        for sender_txs in by_sender.values():
+            keep = len(sender_txs)
+            while keep > 0 and self.rng.random() > self.pool_overlap:
+                keep -= 1
+            kept.extend(sender_txs[:keep])
+        return kept

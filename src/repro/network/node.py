@@ -1,0 +1,136 @@
+"""Proposer and validator node roles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.blockchain import Blockchain
+from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
+from repro.common.types import Address
+from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.core.pipeline import PipelineConfig, PipelineResult, ValidatorPipeline
+from repro.core.proposer import SealedProposal, seal_block
+from repro.evm.interpreter import EVM, ExecutionContext
+from repro.simcore.costmodel import CostModel
+from repro.state.statedb import StateSnapshot
+from repro.txpool.pool import TxPool
+from repro.txpool.transaction import Transaction
+
+__all__ = ["ProposerNode", "ValidatorNode"]
+
+
+class ProposerNode:
+    """A block-building node running OCC-WSI (paper §4.2)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        coinbase: Optional[Address] = None,
+        config: Optional[ProposerConfig] = None,
+        evm: Optional[EVM] = None,
+        cost_model: Optional[CostModel] = None,
+        params: ChainParams = DEFAULT_CHAIN_PARAMS,
+    ) -> None:
+        self.node_id = node_id
+        self.params = params
+        self.coinbase = coinbase or Address(
+            (b"\xbb" + node_id.encode("utf-8")).ljust(20, b"\x00")[:20]
+        )
+        self.engine = OCCWSIProposer(evm=evm, config=config, cost_model=cost_model)
+
+    def build_block(
+        self,
+        parent: BlockHeader,
+        parent_state: StateSnapshot,
+        pending: Iterable[Transaction],
+        *,
+        timestamp: Optional[int] = None,
+        include_profile: bool = True,
+        uncles=(),
+    ) -> SealedProposal:
+        """Select, execute in parallel, and seal the next block."""
+        pool = TxPool()
+        pool.add_many(pending)
+        ctx = ExecutionContext(
+            block_number=parent.number + 1,
+            timestamp=timestamp if timestamp is not None else parent.timestamp + 12,
+            coinbase=self.coinbase,
+            gas_limit=self.engine.config.gas_limit,
+        )
+        proposal = self.engine.propose(parent_state, pool, ctx)
+        return seal_block(
+            proposal,
+            parent,
+            coinbase=self.coinbase,
+            timestamp=ctx.timestamp,
+            gas_limit=self.engine.config.gas_limit,
+            proposer_id=self.node_id,
+            include_profile=include_profile,
+            uncles=uncles,
+            params=self.params,
+        )
+
+
+@dataclass
+class ReceiveOutcome:
+    """What happened when a validator processed a batch of blocks."""
+
+    pipeline: PipelineResult
+    accepted: List[Block]
+    rejected: List[Block]
+    new_head: bool
+
+
+class ValidatorNode:
+    """A validating node: owns a chain, pipelines received blocks (§4.3)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        genesis_state: StateSnapshot,
+        *,
+        config: Optional[PipelineConfig] = None,
+        evm: Optional[EVM] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.chain = Blockchain(genesis_state)
+        self.pipeline = ValidatorPipeline(
+            evm=evm, config=config, cost_model=cost_model
+        )
+
+    def receive_blocks(
+        self,
+        blocks: Sequence[Block],
+        *,
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> ReceiveOutcome:
+        """Validate a batch of (possibly same-height) blocks, extend the chain.
+
+        Parent states are resolved from this node's chain; blocks whose
+        parents are unknown are rejected (no orphan pool in this model).
+        """
+        parent_states = {}
+        for block in blocks:
+            snapshot = self.chain.state_at(block.header.parent_hash)
+            if snapshot is not None:
+                parent_states[block.header.parent_hash] = snapshot
+        result = self.pipeline.process_blocks(blocks, parent_states)
+
+        accepted: List[Block] = []
+        rejected: List[Block] = []
+        new_head = False
+        for block, validation in zip(blocks, result.results):
+            if validation is not None and validation.accepted:
+                if block.hash not in self.chain:
+                    became_head = self.chain.add_block(block, validation.post_state)
+                    new_head = new_head or became_head
+                accepted.append(block)
+            else:
+                rejected.append(block)
+        return ReceiveOutcome(
+            pipeline=result, accepted=accepted, rejected=rejected, new_head=new_head
+        )

@@ -1,0 +1,182 @@
+"""Whole-network simulation: many proposers, many validators, many rounds.
+
+The DiCE loop of Figure 1, closed: each consensus round one (or, with
+``fork_probability``, several) proposer(s) build blocks over the canonical
+head; every validator pipelines the received block set, extends its chain,
+and the network's chains stay in consensus.  Collected statistics give the
+system-level view the paper motivates with — execution-layer TPS under
+serial vs parallel validation, uncle rates, validator occupancy.
+
+This is a logical-round model (no message latency): dissemination details
+are out of the paper's scope, and the interesting contention — multiple
+same-height blocks hitting each validator — is produced directly by the
+fork probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.metrics import throughput_tps
+from repro.core.occ_wsi import ProposerConfig
+from repro.core.pipeline import PipelineConfig
+from repro.network.node import ProposerNode, ValidatorNode
+from repro.workload.generator import BlockWorkloadGenerator, WorkloadConfig
+from repro.workload.universe import Universe
+
+__all__ = ["NetworkConfig", "RoundRecord", "NetworkResult", "NetworkSimulation"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    n_proposers: int = 3
+    n_validators: int = 2
+    rounds: int = 5
+    #: probability that a second proposer races the round winner
+    fork_probability: float = 0.3
+    proposer_lanes: int = 16
+    validator_lanes: int = 16
+    seed: int = 101
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one consensus round."""
+
+    height: int
+    proposer_ids: List[str]
+    block_txs: List[int]
+    accepted: int
+    pipeline_speedup: float
+    pipeline_makespan: float
+    serial_time: float
+
+
+@dataclass
+class NetworkResult:
+    rounds: List[RoundRecord]
+    final_height: int
+    final_root_hex: str
+    uncle_count: int
+    chains_agree: bool
+
+    @property
+    def total_txs(self) -> int:
+        """Transactions on the canonical chain (one block per height)."""
+        return sum(r.block_txs[0] for r in self.rounds)
+
+    @property
+    def parallel_tps(self) -> float:
+        makespan = sum(r.pipeline_makespan for r in self.rounds)
+        processed = sum(sum(r.block_txs) for r in self.rounds)
+        return throughput_tps(processed, makespan)
+
+    @property
+    def serial_tps(self) -> float:
+        serial = sum(r.serial_time for r in self.rounds)
+        processed = sum(sum(r.block_txs) for r in self.rounds)
+        return throughput_tps(processed, serial)
+
+
+class NetworkSimulation:
+    """Drives proposers and validators through consensus rounds."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        *,
+        config: Optional[NetworkConfig] = None,
+        workload: Optional[WorkloadConfig] = None,
+    ) -> None:
+        self.universe = universe
+        self.config = config or NetworkConfig()
+        self.rng = random.Random(self.config.seed)
+        self.generator = BlockWorkloadGenerator(
+            universe, workload or WorkloadConfig(seed=self.config.seed)
+        )
+        self.proposers = [
+            ProposerNode(
+                f"proposer-{i}",
+                config=ProposerConfig(lanes=self.config.proposer_lanes),
+            )
+            for i in range(self.config.n_proposers)
+        ]
+        self.validators = [
+            ValidatorNode(
+                f"validator-{i}",
+                universe.genesis,
+                config=PipelineConfig(worker_lanes=self.config.validator_lanes),
+            )
+            for i in range(self.config.n_validators)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> NetworkResult:
+        cfg = self.config
+        records: List[RoundRecord] = []
+
+        for _ in range(cfg.rounds):
+            # all nodes share the canonical view of validator 0
+            reference = self.validators[0].chain
+            parent = reference.head
+            parent_state = reference.state_at(parent.hash)
+
+            txs = self.generator.generate_block_txs()
+            winner = self.rng.choice(self.proposers)
+            contenders = [winner]
+            if cfg.n_proposers > 1 and self.rng.random() < cfg.fork_probability:
+                rival = self.rng.choice(
+                    [p for p in self.proposers if p is not winner]
+                )
+                contenders.append(rival)
+
+            blocks = []
+            for node in contenders:
+                view = list(txs)
+                self.rng.shuffle(view)
+                view.sort(key=lambda t: t.nonce)
+                blocks.append(
+                    node.build_block(parent.header, parent_state, view).block
+                )
+
+            speedups = []
+            makespans = []
+            serials = []
+            accepted_counts = []
+            for validator in self.validators:
+                outcome = validator.receive_blocks(blocks)
+                accepted_counts.append(len(outcome.accepted))
+                speedups.append(outcome.pipeline.speedup)
+                makespans.append(outcome.pipeline.makespan)
+                serials.append(outcome.pipeline.serial_time)
+
+            if len(set(accepted_counts)) != 1 or accepted_counts[0] != len(blocks):
+                raise AssertionError(
+                    f"validators disagree on acceptance: {accepted_counts}"
+                )
+
+            records.append(
+                RoundRecord(
+                    height=parent.number + 1,
+                    proposer_ids=[n.node_id for n in contenders],
+                    block_txs=[len(b) for b in blocks],
+                    accepted=accepted_counts[0],
+                    pipeline_speedup=speedups[0],
+                    pipeline_makespan=makespans[0],
+                    serial_time=serials[0],
+                )
+            )
+
+        heads = {v.chain.head.hash for v in self.validators}
+        roots = {v.chain.head_state.state_root() for v in self.validators}
+        reference = self.validators[0].chain
+        return NetworkResult(
+            rounds=records,
+            final_height=reference.height(),
+            final_root_hex=reference.head_state.state_root().hex(),
+            uncle_count=reference.uncle_count(),
+            chains_agree=len(heads) == 1 and len(roots) == 1,
+        )

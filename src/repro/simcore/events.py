@@ -1,0 +1,69 @@
+"""A stable-ordered discrete-event queue.
+
+Events are ordered by simulated time; ties break by insertion sequence so
+that simulations are fully deterministic regardless of payload type (which
+need not be comparable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence at simulated ``time`` carrying ``payload``."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> Event:
+        """Schedule ``payload`` at ``time``; returns the created event."""
+        if time != time or time < 0:  # NaN or negative
+            raise ValueError(f"invalid event time: {time!r}")
+        seq = next(self._counter)
+        heapq.heappush(self._heap, (time, seq, payload))
+        return Event(time, seq, payload)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO among equal times)."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        time, seq, payload = heapq.heappop(self._heap)
+        return Event(time, seq, payload)
+
+    def peek_time(self) -> float:
+        """Time of the earliest pending event."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in order until the queue is empty.
+
+        New events pushed while draining are merged into the order, which is
+        the usual event-loop idiom::
+
+            for ev in queue.drain():
+                handle(ev)   # may push more events
+        """
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,221 @@
+"""Merkle proofs over the MPT: generation and stateless verification.
+
+A proof for key *k* is the list of node encodings on the path from the
+root to the terminal node.  A verifier holding only the 32-byte state root
+re-hashes the path: each node must either hash to the parent's reference
+or be embedded inline (nodes shorter than 32 bytes), exactly as Ethereum's
+`eth_getProof` encodes account and storage proofs.
+
+This is what lets light clients — or BlockPilot validators that skip full
+re-execution for *cross-checking* purposes — verify a single account or
+storage slot against a block header without holding the state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.hashing import keccak
+from repro.common.rlp import RLPDecodeError, rlp_decode
+from repro.common.types import Hash32
+from repro.state.trie import (
+    EMPTY_ROOT,
+    MPT,
+    SecureMPT,
+    _node_rlp,
+    bytes_to_nibbles,
+)
+
+__all__ = ["prove", "verify_proof", "ProofError", "prove_account", "prove_storage", "verify_storage_proof"]
+
+
+class ProofError(ValueError):
+    """The proof does not authenticate against the given root."""
+
+
+def _hp_decode(encoded: bytes) -> Tuple[Tuple[int, ...], bool]:
+    """Inverse hex-prefix: returns (nibbles, is_leaf)."""
+    if not encoded:
+        raise ProofError("empty hex-prefix path")
+    nibbles = []
+    for b in encoded:
+        nibbles.append(b >> 4)
+        nibbles.append(b & 0x0F)
+    flag = nibbles[0]
+    is_leaf = flag >= 2
+    odd = flag % 2 == 1
+    path = nibbles[1:] if odd else nibbles[2:]
+    return tuple(path), is_leaf
+
+
+def prove(trie: MPT, key: bytes) -> List[bytes]:
+    """Produce the node-encoding path for ``key`` (inclusion or exclusion).
+
+    The returned list always starts with the root node's RLP; it is empty
+    only for the empty trie.  Nodes whose RLP is shorter than 32 bytes are
+    embedded inline in their parent's encoding (yellow-paper node refs),
+    so they never appear as separate proof elements.
+    """
+    from repro.state.trie import _Extension, _Leaf
+
+    proof: List[bytes] = []
+    node = trie._root
+    if node is None:
+        return proof
+    path = bytes_to_nibbles(key)
+    append_next = True  # the root is always an explicit proof element
+    while node is not None:
+        if append_next:
+            proof.append(_node_rlp(node))
+        if isinstance(node, _Leaf):
+            break
+        if isinstance(node, _Extension):
+            k = len(node.path)
+            if path[:k] != node.path:
+                break  # exclusion: the path diverges here
+            path = path[k:]
+            child = node.child
+        else:  # branch
+            if not path:
+                break
+            child = node.children[path[0]]
+            if child is None:
+                break  # exclusion: no child on the path
+            path = path[1:]
+        # children with short RLP are embedded in the parent encoding
+        append_next = len(_node_rlp(child)) >= 32
+        node = child
+    return proof
+
+
+def verify_proof(
+    root: Hash32, key: bytes, proof: List[bytes]
+) -> Optional[bytes]:
+    """Verify ``proof`` for ``key`` against ``root``.
+
+    Returns the proven value (``None`` for a valid exclusion proof).
+    Raises :class:`ProofError` when the proof does not authenticate.
+    """
+    if not proof:
+        if root == EMPTY_ROOT:
+            return None
+        raise ProofError("empty proof for non-empty root")
+
+    expected: object = bytes(root)  # expectation: 32-byte hash or inline struct
+    path = list(bytes_to_nibbles(key))
+    index = 0
+
+    node_struct = _take_node(proof, index, expected)
+    index += 1
+
+    while True:
+        if not isinstance(node_struct, list) or len(node_struct) not in (2, 17):
+            raise ProofError("malformed proof node")
+        if len(node_struct) == 2:
+            nibbles, is_leaf = _hp_decode(node_struct[0])
+            if is_leaf:
+                if tuple(path) == nibbles:
+                    return node_struct[1]
+                return None  # valid exclusion
+            # extension
+            if tuple(path[: len(nibbles)]) != nibbles:
+                return None  # exclusion: path diverges
+            del path[: len(nibbles)]
+            expected = node_struct[1]
+        else:  # branch
+            if not path:
+                value = node_struct[16]
+                return value if value != b"" else None
+            child = node_struct[path.pop(0)]
+            if child == b"":
+                return None  # exclusion: no child on the path
+            expected = child
+
+        if isinstance(expected, list):
+            # inline node embedded in the parent
+            node_struct = expected
+            continue
+        # hashed reference: the next proof element must hash to it
+        if index >= len(proof):
+            raise ProofError("proof truncated")
+        node_struct = _take_node(proof, index, expected)
+        index += 1
+
+
+def _take_node(proof: List[bytes], index: int, expected) -> list:
+    encoding = proof[index]
+    if isinstance(expected, (bytes, bytearray)):
+        if len(expected) != 32:
+            raise ProofError("malformed node reference")
+        if keccak(encoding) != bytes(expected):
+            raise ProofError(f"proof node {index} hash mismatch")
+    try:
+        decoded = rlp_decode(encoding)
+    except RLPDecodeError as exc:
+        raise ProofError(f"proof node {index} is not valid RLP: {exc}") from exc
+    if not isinstance(decoded, list):
+        raise ProofError("proof node is not a list")
+    return decoded
+
+
+def prove_account(snapshot, address) -> List[bytes]:
+    """Account proof against a snapshot's world-state root (eth_getProof)."""
+    return prove(snapshot._account_trie._trie, keccak(bytes(address)))
+
+
+def prove_storage(snapshot, address, slot: int) -> Tuple[List[bytes], List[bytes]]:
+    """Combined (account_proof, storage_proof) for one slot.
+
+    The account proof authenticates the account body (which embeds the
+    storage root) against the state root; the storage proof authenticates
+    the slot against that storage root."""
+    account_proof = prove_account(snapshot, address)
+    trie = snapshot._storage_tries.get(address)
+    if trie is None:
+        storage_proof: List[bytes] = []
+    else:
+        storage_proof = prove(trie._trie, keccak(slot.to_bytes(32, "big")))
+    return account_proof, storage_proof
+
+
+def verify_storage_proof(
+    state_root: Hash32,
+    address,
+    slot: int,
+    account_proof: List[bytes],
+    storage_proof: List[bytes],
+) -> int:
+    """Stateless verification of one storage slot against a state root.
+
+    Returns the proven slot value (0 for proven absence — of the slot or
+    of the whole account).  Raises :class:`ProofError` if either proof
+    fails to authenticate.
+    """
+    from repro.common.rlp import rlp_decode
+
+    body = verify_proof(state_root, keccak(bytes(address)), account_proof)
+    if body is None:
+        if storage_proof:
+            raise ProofError("storage proof supplied for a non-existent account")
+        return 0
+    decoded = rlp_decode(body)
+    if not isinstance(decoded, list) or len(decoded) != 4:
+        raise ProofError("malformed account body")
+    storage_root = Hash32(decoded[2])
+    value_bytes = verify_proof(
+        storage_root, keccak(slot.to_bytes(32, "big")), storage_proof
+    )
+    if value_bytes is None:
+        return 0
+    decoded_value = rlp_decode(value_bytes)
+    return int.from_bytes(decoded_value, "big")
+
+
+def prove_secure(trie: SecureMPT, key: bytes) -> List[bytes]:
+    """Proof for a :class:`SecureMPT` entry (key hashed before lookup)."""
+    return prove(trie._trie, keccak(key))
+
+
+def verify_secure(root: Hash32, key: bytes, proof: List[bytes]) -> Optional[bytes]:
+    """Verify a secure-trie proof (hashes the key before walking)."""
+    return verify_proof(root, keccak(key), proof)

@@ -1,0 +1,358 @@
+"""The execution-facing world state.
+
+:class:`StateSnapshot` is an immutable committed state: an account map plus
+the incrementally-maintained commitment tries (account trie and per-contract
+storage tries).  Snapshots share structure, so keeping the state of every
+block — including fork siblings at the same height, which the validator
+pipeline processes concurrently (paper §4.3) — costs only the deltas.
+
+:class:`StateDB` is the mutable overlay the EVM executes against.  It keeps
+an undo **journal** so a reverting call frame (or an aborted optimistic
+transaction) can roll back precisely, mirroring geth's ``StateDB`` journal.
+``commit()`` folds the overlay into a new snapshot and updates the tries
+only for dirty entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.common.rlp import rlp_encode
+from repro.common.types import Address, Hash32
+from repro.state.account import AccountData, encode_account
+from repro.state.trie import EMPTY_ROOT, SecureMPT
+
+__all__ = ["StateSnapshot", "StateDB", "genesis_snapshot"]
+
+
+def _storage_value_bytes(value: int) -> bytes:
+    """Trie encoding of a storage word: RLP of the minimal big-endian int."""
+    return rlp_encode(value)
+
+
+def _slot_key(slot: int) -> bytes:
+    return slot.to_bytes(32, "big")
+
+
+class StateSnapshot:
+    """An immutable, committed world state with cached commitment tries."""
+
+    __slots__ = ("accounts", "_account_trie", "_storage_tries", "_root")
+
+    def __init__(
+        self,
+        accounts: Mapping[Address, AccountData],
+        account_trie: SecureMPT,
+        storage_tries: Mapping[Address, SecureMPT],
+    ) -> None:
+        self.accounts = accounts
+        self._account_trie = account_trie
+        self._storage_tries = storage_tries
+        self._root: Optional[Hash32] = None
+
+    def account(self, address: Address) -> Optional[AccountData]:
+        return self.accounts.get(address)
+
+    def state_root(self) -> Hash32:
+        """World-state MPT root (cached; the snapshot is immutable)."""
+        if self._root is None:
+            self._root = self._account_trie.root_hash()
+        return self._root
+
+    def storage_root(self, address: Address) -> Hash32:
+        trie = self._storage_tries.get(address)
+        return trie.root_hash() if trie is not None else EMPTY_ROOT
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self.accounts
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+
+def genesis_snapshot(
+    alloc: Optional[Mapping[Address, AccountData]] = None,
+) -> StateSnapshot:
+    """Build the initial snapshot from an allocation of pre-funded accounts."""
+    accounts: Dict[Address, AccountData] = {}
+    account_trie = SecureMPT()
+    storage_tries: Dict[Address, SecureMPT] = {}
+    if alloc:
+        for address, data in alloc.items():
+            if data.is_empty():
+                continue
+            accounts[address] = data
+            storage_trie = SecureMPT()
+            for slot, value in data.storage.items():
+                if value:
+                    storage_trie = storage_trie.set(
+                        _slot_key(slot), _storage_value_bytes(value)
+                    )
+            if not storage_trie.is_empty():
+                storage_tries[address] = storage_trie
+            account_trie = account_trie.set(
+                bytes(address), encode_account(data, storage_trie.root_hash())
+            )
+    return StateSnapshot(accounts, account_trie, storage_tries)
+
+
+class _Overlay:
+    """Mutable per-account overlay inside a StateDB."""
+
+    __slots__ = ("nonce", "balance", "code", "storage", "exists")
+
+    def __init__(self, base: Optional[AccountData]) -> None:
+        if base is None:
+            self.nonce = 0
+            self.balance = 0
+            self.code = b""
+            self.storage: Dict[int, int] = {}
+            self.exists = False
+        else:
+            self.nonce = base.nonce
+            self.balance = base.balance
+            self.code = base.code
+            self.storage = {}  # only *changed* slots live here
+            self.exists = True
+
+
+class StateDB:
+    """Mutable world state with an undo journal, layered on a snapshot.
+
+    The journal records inverse operations; :meth:`snapshot` /
+    :meth:`revert_to` give nested-call-frame semantics (geth-style).  A
+    ``StateDB`` is single-threaded by design: concurrent execution happens
+    either on independent ``StateDB`` instances (validator subgraph lanes
+    would be race-free by construction — components are account-disjoint)
+    or through the OCC multi-version views in :mod:`repro.state.versioned`.
+    """
+
+    def __init__(self, base: StateSnapshot) -> None:
+        self._base = base
+        self._overlays: Dict[Address, _Overlay] = {}
+        self._journal: list[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    # overlay plumbing                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _overlay(self, address: Address) -> _Overlay:
+        ov = self._overlays.get(address)
+        if ov is None:
+            ov = _Overlay(self._base.account(address))
+            self._overlays[address] = ov
+            self._journal.append(("touch", address))
+        return ov
+
+    def _peek(self, address: Address) -> Optional[_Overlay]:
+        return self._overlays.get(address)
+
+    # ------------------------------------------------------------------ #
+    # reads                                                              #
+    # ------------------------------------------------------------------ #
+
+    def account_exists(self, address: Address) -> bool:
+        ov = self._peek(address)
+        if ov is not None:
+            return ov.exists
+        return self._base.account(address) is not None
+
+    def get_balance(self, address: Address) -> int:
+        ov = self._peek(address)
+        if ov is not None:
+            return ov.balance
+        acct = self._base.account(address)
+        return acct.balance if acct else 0
+
+    def get_nonce(self, address: Address) -> int:
+        ov = self._peek(address)
+        if ov is not None:
+            return ov.nonce
+        acct = self._base.account(address)
+        return acct.nonce if acct else 0
+
+    def get_code(self, address: Address) -> bytes:
+        ov = self._peek(address)
+        if ov is not None:
+            return ov.code
+        acct = self._base.account(address)
+        return acct.code if acct else b""
+
+    def get_storage(self, address: Address, slot: int) -> int:
+        ov = self._peek(address)
+        if ov is not None:
+            if slot in ov.storage:
+                return ov.storage[slot]
+            if not ov.exists:
+                return 0
+        acct = self._base.account(address)
+        if acct is None:
+            return 0
+        return acct.storage.get(slot, 0)
+
+    # ------------------------------------------------------------------ #
+    # writes (journaled)                                                 #
+    # ------------------------------------------------------------------ #
+
+    def set_balance(self, address: Address, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative balance for {address.hex()}: {value}")
+        ov = self._overlay(address)
+        self._journal.append(("balance", address, ov.balance, ov.exists))
+        ov.balance = value
+        ov.exists = True
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) + amount)
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) - amount)
+
+    def set_nonce(self, address: Address, value: int) -> None:
+        ov = self._overlay(address)
+        self._journal.append(("nonce", address, ov.nonce, ov.exists))
+        ov.nonce = value
+        ov.exists = True
+
+    def increment_nonce(self, address: Address) -> None:
+        self.set_nonce(address, self.get_nonce(address) + 1)
+
+    def set_code(self, address: Address, code: bytes) -> None:
+        ov = self._overlay(address)
+        self._journal.append(("code", address, ov.code, ov.exists))
+        ov.code = code
+        ov.exists = True
+
+    def set_storage(self, address: Address, slot: int, value: int) -> None:
+        ov = self._overlay(address)
+        had = slot in ov.storage
+        old = ov.storage.get(slot)
+        self._journal.append(("storage", address, slot, old, had, ov.exists))
+        ov.storage[slot] = value
+        ov.exists = True
+
+    def create_account(self, address: Address) -> None:
+        """Ensure an account exists (used by CREATE and genesis helpers)."""
+        ov = self._overlay(address)
+        if not ov.exists:
+            self._journal.append(("exists", address, ov.exists))
+            ov.exists = True
+
+    # ------------------------------------------------------------------ #
+    # journal                                                            #
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> int:
+        """Mark the current journal position for a later revert."""
+        return len(self._journal)
+
+    def revert_to(self, mark: int) -> None:
+        """Undo every change recorded after ``mark`` (inclusive of frames)."""
+        if mark < 0 or mark > len(self._journal):
+            raise ValueError(f"invalid journal mark {mark}")
+        while len(self._journal) > mark:
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "touch":
+                self._overlays.pop(entry[1], None)
+            elif kind == "balance":
+                _, addr, old, existed = entry
+                ov = self._overlays[addr]
+                ov.balance = old
+                ov.exists = existed
+            elif kind == "nonce":
+                _, addr, old, existed = entry
+                ov = self._overlays[addr]
+                ov.nonce = old
+                ov.exists = existed
+            elif kind == "code":
+                _, addr, old, existed = entry
+                ov = self._overlays[addr]
+                ov.code = old
+                ov.exists = existed
+            elif kind == "storage":
+                _, addr, slot, old, had, existed = entry
+                ov = self._overlays[addr]
+                if had:
+                    ov.storage[slot] = old
+                else:
+                    ov.storage.pop(slot, None)
+                ov.exists = existed
+            elif kind == "exists":
+                _, addr, old = entry
+                self._overlays[addr].exists = old
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown journal entry {kind}")
+
+    # ------------------------------------------------------------------ #
+    # commitment                                                         #
+    # ------------------------------------------------------------------ #
+
+    def touched_addresses(self) -> Set[Address]:
+        return set(self._overlays)
+
+    def commit(self) -> StateSnapshot:
+        """Fold the overlay into a new immutable snapshot.
+
+        Only dirty accounts are re-encoded into the account trie, and only
+        dirty storage slots into the storage tries, so commit cost is
+        proportional to the write set — the property that makes block-level
+        state roots affordable (paper §5.2 checks roots per block).
+        """
+        accounts: Dict[Address, AccountData] = dict(self._base.accounts)
+        account_trie = self._base._account_trie
+        storage_tries: Dict[Address, SecureMPT] = dict(self._base._storage_tries)
+
+        for address, ov in self._overlays.items():
+            base_acct = self._base.account(address)
+            if not ov.exists:
+                continue
+            # merge storage: copy-on-write only when slots changed
+            if ov.storage:
+                merged = dict(base_acct.storage) if base_acct else {}
+                storage_trie = storage_tries.get(address, SecureMPT())
+                for slot, value in ov.storage.items():
+                    if value:
+                        merged[slot] = value
+                        storage_trie = storage_trie.set(
+                            _slot_key(slot), _storage_value_bytes(value)
+                        )
+                    else:
+                        merged.pop(slot, None)
+                        storage_trie = storage_trie.delete(_slot_key(slot))
+                if storage_trie.is_empty():
+                    storage_tries.pop(address, None)
+                else:
+                    storage_tries[address] = storage_trie
+                storage = merged
+            else:
+                storage = base_acct.storage if base_acct else {}
+
+            new_acct = AccountData(
+                nonce=ov.nonce, balance=ov.balance, code=ov.code, storage=storage
+            )
+            if new_acct.is_empty():
+                # EIP-158 pruning: drop empty accounts entirely
+                accounts.pop(address, None)
+                account_trie = account_trie.delete(bytes(address))
+                storage_tries.pop(address, None)
+                continue
+            accounts[address] = new_acct
+            storage_root = (
+                storage_tries[address].root_hash()
+                if address in storage_tries
+                else EMPTY_ROOT
+            )
+            account_trie = account_trie.set(
+                bytes(address), encode_account(new_acct, storage_root)
+            )
+
+        return StateSnapshot(accounts, account_trie, storage_tries)
+
+    # convenient for tests
+    def apply_writes(
+        self, writes: Iterable[Tuple[Address, int, int]]
+    ) -> None:
+        """Apply raw ``(address, slot, value)`` storage writes (test helper)."""
+        for address, slot, value in writes:
+            self.set_storage(address, slot, value)

@@ -1,0 +1,372 @@
+"""An immutable hexary Merkle-Patricia trie (MPT).
+
+This is the commitment structure Ethereum uses for the world state and for
+per-contract storage (paper §2.1: two world states are identical iff their
+MPT roots match, which is exactly how §5.2 validates correctness).
+
+Design choices:
+
+* **Immutable nodes with structural sharing.**  ``insert``/``delete``
+  return a new root and copy only the path they touch, so snapshotting a
+  trie is free — which is what lets the chain layer keep the state of every
+  block (including fork siblings) alive simultaneously.
+* **Yellow-paper encoding.**  Leaf/extension paths use hex-prefix (HP)
+  encoding; node references embed the RLP of nodes shorter than 32 bytes
+  and the Keccak hash otherwise; the root hash is always the hash of the
+  root node's RLP.  Hashes are cached per node and never recomputed thanks
+  to immutability.
+* **byte-string keys and values.**  Callers hash/serialise their own keys
+  (see :class:`SecureMPT` for the keccak-keyed variant used by the state).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.common.hashing import keccak
+from repro.common.rlp import rlp_encode
+from repro.common.types import Hash32
+
+__all__ = ["MPT", "SecureMPT", "EMPTY_ROOT"]
+
+Nibbles = Tuple[int, ...]
+
+
+def bytes_to_nibbles(key: bytes) -> Nibbles:
+    out = []
+    for b in key:
+        out.append(b >> 4)
+        out.append(b & 0x0F)
+    return tuple(out)
+
+
+def hp_encode(path: Nibbles, is_leaf: bool) -> bytes:
+    """Hex-prefix encode a nibble path with the leaf/extension flag."""
+    flag = 2 if is_leaf else 0
+    if len(path) % 2 == 1:
+        nibbles = (flag + 1,) + path
+    else:
+        nibbles = (flag, 0) + path
+    return bytes(
+        (nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2)
+    )
+
+
+def _common_prefix_len(a: Nibbles, b: Nibbles) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class _Leaf:
+    __slots__ = ("path", "value", "_enc")
+
+    def __init__(self, path: Nibbles, value: bytes) -> None:
+        self.path = path
+        self.value = value
+        self._enc: Optional[bytes] = None
+
+
+class _Extension:
+    __slots__ = ("path", "child", "_enc")
+
+    def __init__(self, path: Nibbles, child: "_Node") -> None:
+        self.path = path
+        self.child = child
+        self._enc: Optional[bytes] = None
+
+
+class _Branch:
+    __slots__ = ("children", "value", "_enc")
+
+    def __init__(
+        self, children: Tuple[Optional["_Node"], ...], value: Optional[bytes]
+    ) -> None:
+        self.children = children
+        self.value = value
+        self._enc: Optional[bytes] = None
+
+
+_Node = Union[_Leaf, _Extension, _Branch]
+
+_EMPTY_CHILDREN: Tuple[Optional[_Node], ...] = (None,) * 16
+
+#: Root hash of the empty trie: hash of the RLP of the empty byte string.
+EMPTY_ROOT = keccak(rlp_encode(b""))
+
+
+def _node_rlp(node: _Node) -> bytes:
+    """Canonical RLP of a node (cached; nodes are immutable)."""
+    enc = node._enc
+    if enc is not None:
+        return enc
+    if isinstance(node, _Leaf):
+        enc = rlp_encode([hp_encode(node.path, True), node.value])
+    elif isinstance(node, _Extension):
+        enc = rlp_encode([hp_encode(node.path, False), _node_ref(node.child)])
+    else:  # branch
+        items: list = [
+            (b"" if c is None else _node_ref(c)) for c in node.children
+        ]
+        items.append(node.value if node.value is not None else b"")
+        enc = rlp_encode(items)
+    node._enc = enc
+    return enc
+
+
+def _node_ref(node: _Node):
+    """Reference used inside a parent: inline structure if RLP < 32 bytes,
+    otherwise the 32-byte hash.  To keep things simple (and still
+    canonical) we inline the *encoded* RLP via a raw-passthrough trick:
+    since ``rlp_encode`` would re-encode a list, we return the hash when
+    long, else the decoded structural form is unnecessary — we embed the
+    already-encoded bytes by returning a special marker handled in
+    ``rlp_encode``.  Instead of complicating the encoder, we conservatively
+    return the hash whenever the RLP is 32 bytes or longer, and for shorter
+    nodes we return their *structural list*, rebuilt cheaply below.
+    """
+    enc = _node_rlp(node)
+    if len(enc) >= 32:
+        return keccak(enc)
+    return _node_struct(node)
+
+
+def _node_struct(node: _Node):
+    """Structural (list) form of a node for inline embedding."""
+    if isinstance(node, _Leaf):
+        return [hp_encode(node.path, True), node.value]
+    if isinstance(node, _Extension):
+        return [hp_encode(node.path, False), _node_ref(node.child)]
+    items: list = [(b"" if c is None else _node_ref(c)) for c in node.children]
+    items.append(node.value if node.value is not None else b"")
+    return items
+
+
+def _get(node: Optional[_Node], path: Nibbles) -> Optional[bytes]:
+    while node is not None:
+        if isinstance(node, _Leaf):
+            return node.value if node.path == path else None
+        if isinstance(node, _Extension):
+            k = len(node.path)
+            if path[:k] != node.path:
+                return None
+            path = path[k:]
+            node = node.child
+            continue
+        # branch
+        if not path:
+            return node.value
+        child = node.children[path[0]]
+        path = path[1:]
+        node = child
+    return None
+
+
+def _insert(node: Optional[_Node], path: Nibbles, value: bytes) -> _Node:
+    if node is None:
+        return _Leaf(path, value)
+    if isinstance(node, _Leaf):
+        if node.path == path:
+            return _Leaf(path, value)
+        common = _common_prefix_len(node.path, path)
+        old_rest = node.path[common:]
+        new_rest = path[common:]
+        children = list(_EMPTY_CHILDREN)
+        branch_value: Optional[bytes] = None
+        if old_rest:
+            children[old_rest[0]] = _Leaf(old_rest[1:], node.value)
+        else:
+            branch_value = node.value
+        if new_rest:
+            children[new_rest[0]] = _Leaf(new_rest[1:], value)
+        else:
+            branch_value = value
+        branch = _Branch(tuple(children), branch_value)
+        if common:
+            return _Extension(path[:common], branch)
+        return branch
+    if isinstance(node, _Extension):
+        common = _common_prefix_len(node.path, path)
+        if common == len(node.path):
+            child = _insert(node.child, path[common:], value)
+            return _Extension(node.path, child)
+        # split the extension
+        ext_rest = node.path[common:]
+        new_rest = path[common:]
+        children = list(_EMPTY_CHILDREN)
+        branch_value = None
+        sub = (
+            node.child
+            if len(ext_rest) == 1
+            else _Extension(ext_rest[1:], node.child)
+        )
+        children[ext_rest[0]] = sub
+        if new_rest:
+            children[new_rest[0]] = _Leaf(new_rest[1:], value)
+        else:
+            branch_value = value
+        branch = _Branch(tuple(children), branch_value)
+        if common:
+            return _Extension(path[:common], branch)
+        return branch
+    # branch
+    if not path:
+        return _Branch(node.children, value)
+    idx = path[0]
+    child = _insert(node.children[idx], path[1:], value)
+    children = list(node.children)
+    children[idx] = child
+    return _Branch(tuple(children), node.value)
+
+
+def _normalize_branch(node: _Branch) -> Optional[_Node]:
+    """Collapse a branch left with <2 meaningful entries after a delete."""
+    live = [(i, c) for i, c in enumerate(node.children) if c is not None]
+    if node.value is not None:
+        if live:
+            return node
+        return _Leaf((), node.value)
+    if len(live) > 1:
+        return node
+    if not live:
+        return None
+    idx, child = live[0]
+    # merge the branch slot nibble into the surviving child
+    if isinstance(child, _Leaf):
+        return _Leaf((idx,) + child.path, child.value)
+    if isinstance(child, _Extension):
+        return _Extension((idx,) + child.path, child.child)
+    return _Extension((idx,), child)
+
+
+def _delete(node: Optional[_Node], path: Nibbles) -> Optional[_Node]:
+    if node is None:
+        return None
+    if isinstance(node, _Leaf):
+        return None if node.path == path else node
+    if isinstance(node, _Extension):
+        k = len(node.path)
+        if path[:k] != node.path:
+            return node
+        child = _delete(node.child, path[k:])
+        if child is node.child:
+            return node
+        if child is None:
+            return None
+        if isinstance(child, _Leaf):
+            return _Leaf(node.path + child.path, child.value)
+        if isinstance(child, _Extension):
+            return _Extension(node.path + child.path, child.child)
+        return _Extension(node.path, child)
+    # branch
+    if not path:
+        if node.value is None:
+            return node
+        return _normalize_branch(_Branch(node.children, None))
+    idx = path[0]
+    old_child = node.children[idx]
+    child = _delete(old_child, path[1:])
+    if child is old_child:
+        return node
+    children = list(node.children)
+    children[idx] = child
+    return _normalize_branch(_Branch(tuple(children), node.value))
+
+
+def _iter_items(node: Optional[_Node], prefix: Nibbles) -> Iterator[tuple[Nibbles, bytes]]:
+    if node is None:
+        return
+    if isinstance(node, _Leaf):
+        yield prefix + node.path, node.value
+        return
+    if isinstance(node, _Extension):
+        yield from _iter_items(node.child, prefix + node.path)
+        return
+    if node.value is not None:
+        yield prefix, node.value
+    for i, child in enumerate(node.children):
+        if child is not None:
+            yield from _iter_items(child, prefix + (i,))
+
+
+class MPT:
+    """Immutable Merkle-Patricia trie handle.
+
+    All mutating operations return a *new* :class:`MPT`; the receiver is
+    unchanged.  Keys and values are ``bytes``; setting a key to the empty
+    value deletes it (Ethereum semantics for zero-valued storage).
+    """
+
+    __slots__ = ("_root",)
+
+    def __init__(self, _root: Optional[_Node] = None) -> None:
+        self._root = _root
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return _get(self._root, bytes_to_nibbles(key))
+
+    def set(self, key: bytes, value: bytes) -> "MPT":
+        if value == b"":
+            return self.delete(key)
+        return MPT(_insert(self._root, bytes_to_nibbles(key), value))
+
+    def delete(self, key: bytes) -> "MPT":
+        new_root = _delete(self._root, bytes_to_nibbles(key))
+        if new_root is self._root:
+            return self
+        return MPT(new_root)
+
+    def root_hash(self) -> Hash32:
+        if self._root is None:
+            return EMPTY_ROOT
+        return keccak(_node_rlp(self._root))
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in lexicographic key order.
+
+        Only keys with an even nibble count (i.e. whole bytes) are
+        representable; all keys inserted through :meth:`set` qualify.
+        """
+        for nibbles, value in _iter_items(self._root, ()):
+            key = bytes(
+                (nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2)
+            )
+            yield key, value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in _iter_items(self._root, ()))
+
+    def is_empty(self) -> bool:
+        return self._root is None
+
+
+class SecureMPT:
+    """MPT variant that keys entries by ``keccak(key)``.
+
+    This mirrors Ethereum's *secure trie*: it bounds path depth and
+    prevents key-grinding attacks on the structure.  Iteration yields
+    hashed keys, so callers that need reverse lookup keep their own index
+    (the :class:`~repro.state.statedb.StateDB` does).
+    """
+
+    __slots__ = ("_trie",)
+
+    def __init__(self, _trie: Optional[MPT] = None) -> None:
+        self._trie = _trie if _trie is not None else MPT()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._trie.get(keccak(key))
+
+    def set(self, key: bytes, value: bytes) -> "SecureMPT":
+        return SecureMPT(self._trie.set(keccak(key), value))
+
+    def delete(self, key: bytes) -> "SecureMPT":
+        return SecureMPT(self._trie.delete(keccak(key)))
+
+    def root_hash(self) -> Hash32:
+        return self._trie.root_hash()
+
+    def is_empty(self) -> bool:
+        return self._trie.is_empty()

@@ -1,0 +1,11 @@
+"""Transactions and the pending pool proposers draw from.
+
+Proposers "select transactions from the pending pool and execute them in
+parallel" (paper §4.1, Figure 3); selection is by gas price, and aborted
+optimistic transactions return to the pool (Algorithm 1's ``PushHeap``).
+"""
+
+from repro.txpool.transaction import Transaction
+from repro.txpool.pool import TxPool
+
+__all__ = ["Transaction", "TxPool"]

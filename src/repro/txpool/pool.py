@@ -1,0 +1,209 @@
+"""The pending transaction pool.
+
+Selection follows geth's miner: the highest gas price among *ready*
+transactions wins (Algorithm 1 pops from a heap).  A transaction is ready
+when it is the lowest queued nonce for its sender — later nonces stay
+parked until the earlier one is packed, which preserves the per-sender
+ordering the EVM's nonce check enforces.
+
+The pool supports the OCC-WSI abort path: ``push_back`` returns an aborted
+transaction to the ready set without disturbing its parked successors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional
+
+from repro.common.types import Address
+from repro.txpool.transaction import Transaction
+
+__all__ = ["TxPool"]
+
+
+#: a replacement must bid at least this many percent over the original
+#: (geth's default price-bump threshold)
+PRICE_BUMP_PERCENT = 10
+
+
+class TxPool:
+    """Gas-price priority pool with per-sender nonce ordering.
+
+    Replace-by-fee: re-adding a queued nonce with a gas price at least
+    ``PRICE_BUMP_PERCENT`` higher replaces the original (both parked and
+    already-promoted transactions; in-flight ones — currently executing in
+    a proposer — cannot be replaced).
+    """
+
+    def __init__(self) -> None:
+        # ready transactions: max-heap on gas price (min-heap on negation)
+        self._ready: List[tuple] = []
+        self._counter = itertools.count()
+        # parked: sender -> {nonce: tx} not yet ready
+        self._parked: Dict[Address, Dict[int, Transaction]] = {}
+        # the nonce each sender's next ready tx must carry
+        self._ready_nonce: Dict[Address, int] = {}
+        # ready txs currently popped but not yet packed (in flight)
+        self._in_flight: Dict[Address, Transaction] = {}
+        # senders whose ready-nonce tx is in the heap or in flight
+        self._pending_ready: set = set()
+        # lazily-invalidated heap entries (replaced by fee)
+        self._cancelled: set = set()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, tx: Transaction) -> None:
+        """Insert a transaction.
+
+        Duplicates of a queued nonce are rejected unless they outbid the
+        original by :data:`PRICE_BUMP_PERCENT` (replace-by-fee).
+        """
+        sender = tx.sender
+        parked = self._parked.setdefault(sender, {})
+        if tx.nonce in parked:
+            self._replace_parked(parked, tx)
+            return
+        if sender in self._ready_nonce:
+            ready = self._ready_nonce[sender]
+            if tx.nonce < ready:
+                # the sender's earlier nonce already left the parked map (it
+                # is ready, in flight or packed); a lower nonce cannot run
+                raise ValueError(
+                    f"nonce {tx.nonce} below ready nonce "
+                    f"{ready} for {sender.hex()[:8]}"
+                )
+            if tx.nonce == ready and sender in self._pending_ready:
+                self._replace_promoted(tx)
+                return
+        parked[tx.nonce] = tx
+        self._size += 1
+        if sender not in self._ready_nonce:
+            self._ready_nonce[sender] = min(parked)
+        self._promote(sender)
+
+    def _check_bump(self, old: Transaction, new: Transaction) -> None:
+        threshold = old.gas_price + old.gas_price * PRICE_BUMP_PERCENT // 100
+        if new.gas_price <= threshold or new.gas_price <= old.gas_price:
+            raise ValueError(
+                f"replacement for nonce {new.nonce} underpriced: "
+                f"{new.gas_price} <= bump threshold {threshold}"
+            )
+
+    def _replace_parked(self, parked, tx: Transaction) -> None:
+        old = parked[tx.nonce]
+        self._check_bump(old, tx)
+        parked[tx.nonce] = tx
+
+    def _replace_promoted(self, tx: Transaction) -> None:
+        sender = tx.sender
+        in_flight = self._in_flight.get(sender)
+        if in_flight is not None:
+            raise ValueError(
+                f"nonce {tx.nonce} for {sender.hex()[:8]} is executing and "
+                "cannot be replaced"
+            )
+        # find the live heap entry for this sender (lazy invalidation)
+        old = next(
+            (t for _, _, t in self._ready
+             if t.sender == sender and t.hash not in self._cancelled),
+            None,
+        )
+        if old is None:  # pragma: no cover - defensive
+            raise ValueError("promoted transaction not found")
+        self._check_bump(old, tx)
+        self._cancelled.add(old.hash)
+        heapq.heappush(self._ready, (-tx.gas_price, next(self._counter), tx))
+
+    def add_many(self, txs) -> None:
+        for tx in txs:
+            self.add(tx)
+
+    def _promote(self, sender: Address) -> None:
+        """Move the sender's ready-nonce tx into the heap if present."""
+        if sender in self._in_flight:
+            return
+        parked = self._parked.get(sender)
+        if not parked:
+            return
+        nonce = self._ready_nonce.get(sender)
+        if nonce is None:
+            return
+        tx = parked.get(nonce)
+        if tx is not None:
+            heapq.heappush(
+                self._ready, (-tx.gas_price, next(self._counter), tx)
+            )
+            del parked[nonce]
+            self._pending_ready.add(sender)
+
+    # ------------------------------------------------------------------ #
+
+    def pop_best(self) -> Optional[Transaction]:
+        """Pop the ready transaction with the highest gas price.
+
+        The transaction becomes *in flight*: its sender's later nonces stay
+        parked until ``mark_packed`` or ``drop`` is called; ``push_back``
+        restores it to the ready set.
+        """
+        while self._ready:
+            _, _, tx = heapq.heappop(self._ready)
+            if tx.hash in self._cancelled:
+                self._cancelled.discard(tx.hash)
+                continue
+            sender = tx.sender
+            if self._in_flight.get(sender) is not None:
+                # stale duplicate (defensive; should not occur)
+                continue
+            self._in_flight[sender] = tx
+            return tx
+        return None
+
+    def push_back(self, tx: Transaction) -> None:
+        """Return an in-flight (aborted) transaction to the ready heap."""
+        sender = tx.sender
+        if self._in_flight.get(sender) is not tx:
+            raise ValueError("push_back of a transaction that is not in flight")
+        del self._in_flight[sender]
+        heapq.heappush(self._ready, (-tx.gas_price, next(self._counter), tx))
+
+    def mark_packed(self, tx: Transaction) -> None:
+        """The in-flight transaction was committed; release the next nonce."""
+        sender = tx.sender
+        if self._in_flight.get(sender) is not tx:
+            raise ValueError("mark_packed of a transaction that is not in flight")
+        del self._in_flight[sender]
+        self._pending_ready.discard(sender)
+        self._size -= 1
+        self._ready_nonce[sender] = tx.nonce + 1
+        self._promote(sender)
+
+    def drop(self, tx: Transaction) -> None:
+        """Discard an in-flight transaction (invalid: bad nonce, unaffordable).
+
+        Every parked successor from the same sender is discarded too — with
+        a nonce gap they can never become valid.
+        """
+        sender = tx.sender
+        if self._in_flight.get(sender) is not tx:
+            raise ValueError("drop of a transaction that is not in flight")
+        del self._in_flight[sender]
+        self._pending_ready.discard(sender)
+        self._size -= 1
+        parked = self._parked.pop(sender, {})
+        self._size -= len(parked)
+        self._ready_nonce.pop(sender, None)
+
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def has_ready(self) -> bool:
+        """True when ``pop_best`` would return a transaction right now."""
+        return any(t.hash not in self._cancelled for _, _, t in self._ready)

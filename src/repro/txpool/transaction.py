@@ -1,0 +1,71 @@
+"""The transaction record.
+
+Real Ethereum transactions carry an ECDSA signature from which the sender
+is recovered.  Signature recovery is pure per-transaction compute with no
+bearing on concurrency control, so this reproduction carries the sender
+explicitly and folds signature-check cost into the cost model's
+``tx_overhead`` (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.hashing import Hash32, hash_of
+from repro.common.types import Address
+
+__all__ = ["Transaction"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable transaction.
+
+    ``to=None`` denotes contract creation with ``data`` as init code.
+    ``tag`` is free-form metadata used by the workload generator to label
+    what kind of action a transaction performs (useful in analyses); it is
+    not part of the hash.
+    """
+
+    sender: Address
+    to: Optional[Address]
+    value: int
+    data: bytes
+    gas_limit: int
+    gas_price: int
+    nonce: int
+    tag: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("negative value")
+        if self.gas_limit <= 0:
+            raise ValueError("non-positive gas limit")
+        if self.gas_price < 0:
+            raise ValueError("negative gas price")
+        if self.nonce < 0:
+            raise ValueError("negative nonce")
+
+    @property
+    def hash(self) -> Hash32:
+        return hash_of(
+            bytes(self.sender),
+            bytes(self.to) if self.to is not None else None,
+            self.value,
+            self.data,
+            self.gas_limit,
+            self.gas_price,
+            self.nonce,
+        )
+
+    @property
+    def is_create(self) -> bool:
+        return self.to is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "create" if self.is_create else self.to.hex()[:8]
+        return (
+            f"Tx({self.sender.hex()[:8]}->{kind} nonce={self.nonce} "
+            f"gasprice={self.gas_price}{' ' + self.tag if self.tag else ''})"
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures: a small universe and helpers reused across test modules."""
+
+import dataclasses
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.workload.generator import BlockWorkloadGenerator, WorkloadConfig
+from repro.workload.universe import UniverseConfig, build_universe
+
+
+@pytest.fixture(scope="session")
+def _universe_base():
+    """A compact world: fast to build, still exhibits hotspot structure.
+
+    Built once per session; tests receive per-test copies with fresh nonce
+    counters (see ``small_universe``) so each test starts from genesis.
+    """
+    return build_universe(
+        UniverseConfig(
+            n_eoas=200,
+            n_tokens=6,
+            n_amms=3,
+            n_nfts=2,
+            n_airdrops=2,
+            token_holder_fraction=0.9,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture()
+def small_universe(_universe_base):
+    """Per-test view of the shared universe with reset nonce counters.
+
+    The genesis snapshot is immutable and safely shared; the nonce map is
+    the only mutable piece, so each test gets its own."""
+    return dataclasses.replace(_universe_base, nonces={})
+
+
+@pytest.fixture()
+def small_generator(small_universe):
+    return BlockWorkloadGenerator(
+        small_universe,
+        WorkloadConfig(txs_per_block=40, tx_count_jitter=0.0, seed=5),
+    )
+
+
+@pytest.fixture()
+def genesis_chain(small_universe):
+    return Blockchain(small_universe.genesis)

@@ -1,0 +1,56 @@
+"""CLI smoke tests (direct invocation of the argument-parsing entry point)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.seed == 42
+        assert args.txs_per_block == 132
+
+    def test_lane_lists(self):
+        args = build_parser().parse_args(["proposer", "--lanes", "2", "8"])
+        assert args.lanes == [2, 8]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    """Run each command on a tiny workload; assert exit code and output."""
+
+    ARGS = ["--txs-per-block", "25", "--blocks-per-point", "1"]
+
+    def test_demo(self, capsys):
+        assert main([*self.ARGS, "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "round trip" in out
+        assert "True" in out
+
+    def test_proposer_sweep(self, capsys):
+        assert main([*self.ARGS, "proposer", "--lanes", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert out.count("\n") >= 4
+
+    def test_validator_sweep(self, capsys):
+        assert main([*self.ARGS, "validator", "--lanes", "1", "4"]) == 0
+        assert "Fig. 7a" in capsys.readouterr().out
+
+    def test_pipeline_sweep(self, capsys):
+        assert main([*self.ARGS, "pipeline", "--blocks", "1", "2"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_hotspot_sweep(self, capsys):
+        assert main([*self.ARGS, "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "%" in out

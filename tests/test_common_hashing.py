@@ -1,0 +1,57 @@
+"""Tests for the canonical hashing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import EMPTY_HASH, hash_of, keccak
+
+
+class TestKeccak:
+    def test_deterministic(self):
+        assert keccak(b"abc") == keccak(b"abc")
+
+    def test_distinct_inputs_distinct_outputs(self):
+        assert keccak(b"abc") != keccak(b"abd")
+
+    def test_empty_hash_constant(self):
+        assert EMPTY_HASH == keccak(b"")
+
+    def test_output_is_32_bytes(self):
+        assert len(keccak(b"hello")) == 32
+
+
+class TestHashOf:
+    def test_type_separation_bytes_vs_str(self):
+        assert hash_of(b"abc") != hash_of("abc")
+
+    def test_int_vs_bytes_distinct(self):
+        assert hash_of(1) != hash_of(b"\x01")
+
+    def test_nesting_matters(self):
+        assert hash_of([b"a", b"b"]) != hash_of([[b"a"], b"b"])
+
+    def test_negative_and_positive_distinct(self):
+        assert hash_of(-5) != hash_of(5)
+
+    def test_none_supported(self):
+        assert hash_of(None) == hash_of(None)
+        assert hash_of(None) != hash_of(0)
+
+    def test_bool_not_confused_with_int(self):
+        assert hash_of(True) != hash_of(1)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            hash_of(object())
+
+    @given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+    def test_equal_inputs_equal_hashes(self, a, b):
+        if a == b:
+            assert hash_of(*a) == hash_of(*b)
+        else:
+            assert hash_of(*a) != hash_of(*b)
+
+    def test_concatenation_ambiguity_resolved(self):
+        # ("ab", "c") must not collide with ("a", "bc")
+        assert hash_of("ab", "c") != hash_of("a", "bc")

@@ -1,0 +1,117 @@
+"""RLP encoder/decoder tests, including yellow-paper vectors and round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rlp import RLPDecodeError, rlp_decode, rlp_encode
+
+
+class TestKnownVectors:
+    """Canonical examples from the Ethereum wiki / yellow paper."""
+
+    def test_empty_string(self):
+        assert rlp_encode(b"") == b"\x80"
+
+    def test_single_low_byte(self):
+        assert rlp_encode(b"\x00") == b"\x00"
+        assert rlp_encode(b"\x7f") == b"\x7f"
+
+    def test_single_high_byte(self):
+        assert rlp_encode(b"\x80") == b"\x81\x80"
+
+    def test_dog(self):
+        assert rlp_encode(b"dog") == b"\x83dog"
+
+    def test_cat_dog_list(self):
+        assert rlp_encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_empty_list(self):
+        assert rlp_encode([]) == b"\xc0"
+
+    def test_integer_zero_is_empty_string(self):
+        assert rlp_encode(0) == b"\x80"
+
+    def test_integer_fifteen(self):
+        assert rlp_encode(15) == b"\x0f"
+
+    def test_integer_1024(self):
+        assert rlp_encode(1024) == b"\x82\x04\x00"
+
+    def test_set_theoretic_nesting(self):
+        # [ [], [[]], [ [], [[]] ] ]
+        assert rlp_encode([[], [[]], [[], [[]]]]) == bytes.fromhex("c7c0c1c0c3c0c1c0")
+
+    def test_long_string_uses_long_form(self):
+        data = b"a" * 56
+        enc = rlp_encode(data)
+        assert enc[0] == 0xB8
+        assert enc[1] == 56
+        assert enc[2:] == data
+
+    def test_str_encodes_as_utf8(self):
+        assert rlp_encode("dog") == rlp_encode(b"dog")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            rlp_encode(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(3.14)
+
+
+nested_items = st.recursive(
+    st.binary(max_size=70),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=25,
+)
+
+
+class TestRoundTrip:
+    @given(nested_items)
+    def test_encode_decode_round_trip(self, item):
+        assert rlp_decode(rlp_encode(item)) == item
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_int_round_trip_via_bytes(self, value):
+        decoded = rlp_decode(rlp_encode(value))
+        assert int.from_bytes(decoded, "big") == value
+
+
+class TestStrictDecoding:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(rlp_encode(b"dog") + b"\x00")
+
+    def test_truncated_string_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\x83do")
+
+    def test_truncated_list_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\xc8\x83cat")
+
+    def test_non_canonical_single_byte_rejected(self):
+        # 0x81 0x05 encodes byte 5, which must encode as plain 0x05
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\x81\x05")
+
+    def test_long_form_for_short_payload_rejected(self):
+        # long-string header declaring a 3-byte payload is non-canonical
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"\xb8\x03dog")
+
+    def test_length_with_leading_zero_rejected(self):
+        payload = b"a" * 56
+        bad = b"\xb9\x00\x38" + payload
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(bad)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RLPDecodeError):
+            rlp_decode(b"")

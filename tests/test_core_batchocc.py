@@ -1,0 +1,112 @@
+"""Tests for the deterministic round-based OCC comparator."""
+
+import pytest
+
+from repro.common.types import Address
+from repro.core.batchocc import BatchOCCConfig, BatchOCCProposer
+from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.evm.interpreter import EVM, ExecutionContext
+from repro.state.account import AccountData
+from repro.state.statedb import StateDB, genesis_snapshot
+from repro.txpool.pool import TxPool
+from repro.txpool.transaction import Transaction
+
+ETHER = 10**18
+CTX = ExecutionContext(block_number=1, timestamp=9)
+
+
+def world(n=10):
+    eoas = [Address.from_int(0x900 + i) for i in range(n)]
+    return eoas, genesis_snapshot({a: AccountData(balance=ETHER) for a in eoas})
+
+
+def payment(sender, to, nonce=0, price=10, value=100):
+    return Transaction(sender, to, value, b"", 60_000, price, nonce)
+
+
+def run(base, txs, lanes=4, **cfg):
+    pool = TxPool()
+    pool.add_many(sorted(txs, key=lambda t: t.nonce))
+    proposer = BatchOCCProposer(config=BatchOCCConfig(lanes=lanes, **cfg))
+    return proposer.propose(base, pool, CTX), pool
+
+
+class TestBatchOCC:
+    def test_packs_everything(self):
+        eoas, base = world()
+        txs = [payment(eoas[i], eoas[i + 5]) for i in range(5)]
+        result, pool = run(base, txs)
+        assert len(result.committed) == 5
+        assert len(pool) == 0
+
+    def test_disjoint_txs_one_round(self):
+        eoas, base = world()
+        txs = [payment(eoas[i], eoas[i + 5]) for i in range(4)]
+        result, _ = run(base, txs, lanes=4)
+        assert result.rounds == 1
+        assert result.stats.aborts == 0
+
+    def test_conflicts_spill_into_more_rounds(self):
+        eoas, base = world()
+        hot = eoas[9]
+        txs = [payment(eoas[i], hot) for i in range(6)]
+        result, _ = run(base, txs, lanes=6)
+        assert result.rounds > 1
+        assert result.stats.aborts > 0
+        assert len(result.committed) == 6
+
+    def test_deterministic(self):
+        eoas, base = world()
+        hot = eoas[9]
+        txs = [payment(eoas[i], hot, price=10 + i) for i in range(6)]
+        r1, _ = run(base, txs, lanes=4)
+        r2, _ = run(base, txs, lanes=4)
+        assert [t.hash for t in r1.committed] == [t.hash for t in r2.committed]
+        assert r1.stats.makespan == r2.stats.makespan
+        assert r1.post_state.state_root() == r2.post_state.state_root()
+
+    def test_state_matches_serial_replay(self):
+        eoas, base = world()
+        hot = eoas[9]
+        txs = [payment(eoas[i], hot) for i in range(6)]
+        result, _ = run(base, txs, lanes=4)
+        db = StateDB(base)
+        evm = EVM()
+        for tx in result.committed:
+            evm.apply_transaction(db, tx, CTX)
+        assert db.commit().state_root() == result.post_state.state_root()
+
+    def test_gas_limit_respected(self):
+        eoas, base = world()
+        txs = [payment(eoas[i], eoas[i + 5]) for i in range(5)]
+        result, pool = run(base, txs, gas_limit=21000 * 2 + 1)
+        assert len(result.committed) < 5
+        assert len(pool) == 5 - len(result.committed)
+
+    def test_invalid_dropped(self):
+        eoas, base = world()
+        bad = payment(eoas[0], eoas[1], value=5 * ETHER)
+        good = payment(eoas[2], eoas[3])
+        result, _ = run(base, [bad, good])
+        assert result.invalid_dropped == 1
+        assert len(result.committed) == 1
+
+    def test_occ_wsi_beats_batch_occ_under_contention(
+        self, small_universe, small_generator
+    ):
+        """The barrier wastes lane time every round; OCC-WSI's free-running
+        lanes finish the same block sooner."""
+        txs = small_generator.generate_block_txs()
+
+        pool1 = TxPool()
+        pool1.add_many(sorted(txs, key=lambda t: t.nonce))
+        wsi = OCCWSIProposer(config=ProposerConfig(lanes=16)).propose(
+            small_universe.genesis, pool1, CTX
+        )
+        pool2 = TxPool()
+        pool2.add_many(sorted(txs, key=lambda t: t.nonce))
+        batch = BatchOCCProposer(config=BatchOCCConfig(lanes=16)).propose(
+            small_universe.genesis, pool2, CTX
+        )
+        assert len(wsi.committed) == len(batch.committed) == len(txs)
+        assert wsi.stats.makespan < batch.stats.makespan

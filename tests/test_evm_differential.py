@@ -1,0 +1,151 @@
+"""Differential testing: random operands through real bytecode vs a Python
+reference model of the yellow-paper semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import (
+    MAX_U256,
+    u256_to_signed,
+    signed_to_u256,
+)
+from tests.test_evm_interpreter import returns_top_of_stack, run_code, word
+
+u256 = st.integers(min_value=0, max_value=MAX_U256)
+
+M = 1 << 256
+
+
+def _sdiv(a, b):
+    sa, sb = u256_to_signed(a), u256_to_signed(b)
+    if sb == 0:
+        return 0
+    q = abs(sa) // abs(sb)
+    return signed_to_u256(-q if (sa < 0) != (sb < 0) else q)
+
+
+def _smod(a, b):
+    sa, sb = u256_to_signed(a), u256_to_signed(b)
+    if sb == 0:
+        return 0
+    r = abs(sa) % abs(sb)
+    return signed_to_u256(-r if sa < 0 else r)
+
+
+#: (mnemonic, reference function on (a=top, b=next))
+BINARY_REFERENCE = {
+    "ADD": lambda a, b: (a + b) % M,
+    "MUL": lambda a, b: (a * b) % M,
+    "SUB": lambda a, b: (a - b) % M,
+    "DIV": lambda a, b: 0 if b == 0 else a // b,
+    "MOD": lambda a, b: 0 if b == 0 else a % b,
+    "SDIV": _sdiv,
+    "SMOD": _smod,
+    "LT": lambda a, b: int(a < b),
+    "GT": lambda a, b: int(a > b),
+    "SLT": lambda a, b: int(u256_to_signed(a) < u256_to_signed(b)),
+    "SGT": lambda a, b: int(u256_to_signed(a) > u256_to_signed(b)),
+    "EQ": lambda a, b: int(a == b),
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "SHL": lambda shift, value: (value << shift) % M if shift < 256 else 0,
+    "SHR": lambda shift, value: value >> shift if shift < 256 else 0,
+}
+
+
+class TestBinaryOpsDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.sampled_from(sorted(BINARY_REFERENCE)),
+        u256,
+        u256,
+    )
+    def test_matches_reference(self, mnemonic, a, b):
+        """Execute `PUSH b, PUSH a, OP` through the interpreter and compare
+        with the Python reference (a ends on top of the stack)."""
+        program = returns_top_of_stack([b, a, mnemonic])
+        result, _ = run_code(program)
+        assert result.success, result.error
+        expected = BINARY_REFERENCE[mnemonic](a, b)
+        assert word(result) == expected, mnemonic
+
+    @settings(max_examples=60, deadline=None)
+    @given(u256, u256, st.integers(0, MAX_U256))
+    def test_addmod_mulmod(self, a, b, n):
+        r_add, _ = run_code(returns_top_of_stack([n, b, a, "ADDMOD"]))
+        r_mul, _ = run_code(returns_top_of_stack([n, b, a, "MULMOD"]))
+        assert word(r_add) == (0 if n == 0 else (a + b) % n)
+        assert word(r_mul) == (0 if n == 0 else (a * b) % n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(u256, st.integers(0, 300))
+    def test_exp(self, base, exponent):
+        result, _ = run_code(returns_top_of_stack([exponent, base, "EXP"]))
+        assert word(result) == pow(base, exponent, M)
+
+    @settings(max_examples=60, deadline=None)
+    @given(u256)
+    def test_not_iszero(self, a):
+        r_not, _ = run_code(returns_top_of_stack([a, "NOT"]))
+        r_isz, _ = run_code(returns_top_of_stack([a, "ISZERO"]))
+        assert word(r_not) == a ^ MAX_U256
+        assert word(r_isz) == int(a == 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(u256, st.integers(0, 40))
+    def test_byte(self, value, index):
+        result, _ = run_code(returns_top_of_stack([value, index, "BYTE"]))
+        if index < 32:
+            expected = (value >> (8 * (31 - index))) & 0xFF
+        else:
+            expected = 0
+        assert word(result) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(u256, st.integers(0, 40))
+    def test_signextend(self, value, b):
+        result, _ = run_code(returns_top_of_stack([value, b, "SIGNEXTEND"]))
+        if b >= 31:
+            expected = value
+        else:
+            bits = 8 * (b + 1)
+            truncated = value & ((1 << bits) - 1)
+            if truncated & (1 << (bits - 1)):
+                expected = truncated | (MAX_U256 ^ ((1 << bits) - 1))
+            else:
+                expected = truncated
+        assert word(result) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(u256, st.integers(0, 300))
+    def test_sar(self, value, shift):
+        result, _ = run_code(returns_top_of_stack([value, shift, "SAR"]))
+        signed = u256_to_signed(value)
+        if shift >= 256:
+            expected = 0 if signed >= 0 else MAX_U256
+        else:
+            expected = signed_to_u256(signed >> shift)
+        assert word(result) == expected
+
+
+class TestMemoryDifferential:
+    @settings(max_examples=50, deadline=None)
+    @given(u256, st.integers(0, 200))
+    def test_mstore_mload_round_trip(self, value, offset):
+        program = returns_top_of_stack(
+            [value, offset, "MSTORE", offset, "MLOAD"]
+        )
+        result, _ = run_code(program)
+        assert word(result) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 100))
+    def test_mstore8_writes_one_byte(self, byte, offset):
+        # write the byte, read the 32-byte word starting at that offset
+        program = returns_top_of_stack(
+            [byte, offset, "MSTORE8", offset, "MLOAD"]
+        )
+        result, _ = run_code(program)
+        assert word(result) >> 248 == byte

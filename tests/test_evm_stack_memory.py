@@ -1,0 +1,148 @@
+"""Unit tests for the EVM stack and memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.types import MAX_U256
+from repro.evm.memory import MAX_MEMORY_BYTES, Memory
+from repro.evm.stack import MAX_DEPTH, Stack, StackError
+
+
+class TestStack:
+    def test_push_pop(self):
+        s = Stack()
+        s.push(1)
+        s.push(2)
+        assert s.pop() == 2
+        assert s.pop() == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(StackError):
+            Stack().pop()
+
+    def test_push_masks_wide_values(self):
+        s = Stack()
+        s.push(1 << 256)
+        assert s.pop() == 0
+        s.push(-1)
+        assert s.pop() == MAX_U256
+
+    def test_overflow(self):
+        s = Stack()
+        for i in range(MAX_DEPTH):
+            s.push(i)
+        with pytest.raises(StackError):
+            s.push(0)
+
+    def test_pop_n_order(self):
+        s = Stack()
+        for v in (1, 2, 3):
+            s.push(v)
+        assert s.pop_n(2) == [3, 2]  # result[0] is top
+        assert len(s) == 1
+
+    def test_pop_n_underflow(self):
+        s = Stack()
+        s.push(1)
+        with pytest.raises(StackError):
+            s.pop_n(2)
+
+    def test_peek(self):
+        s = Stack()
+        s.push(10)
+        s.push(20)
+        assert s.peek(0) == 20
+        assert s.peek(1) == 10
+        assert len(s) == 2  # non-destructive
+
+    def test_peek_too_deep(self):
+        with pytest.raises(StackError):
+            Stack().peek(0)
+
+    def test_dup(self):
+        s = Stack()
+        s.push(7)
+        s.push(8)
+        s.dup(2)  # duplicate second item
+        assert s.pop() == 7
+        assert s.pop() == 8
+
+    def test_dup_underflow(self):
+        s = Stack()
+        s.push(1)
+        with pytest.raises(StackError):
+            s.dup(2)
+
+    def test_swap(self):
+        s = Stack()
+        for v in (1, 2, 3):
+            s.push(v)
+        s.swap(2)  # swap top with third
+        assert s.pop() == 1
+        assert s.pop() == 2
+        assert s.pop() == 3
+
+    def test_swap_underflow(self):
+        s = Stack()
+        s.push(1)
+        with pytest.raises(StackError):
+            s.swap(1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=MAX_U256), max_size=40))
+    def test_lifo_property(self, values):
+        s = Stack()
+        for v in values:
+            s.push(v)
+        out = [s.pop() for _ in values]
+        assert out == list(reversed(values))
+
+
+class TestMemory:
+    def test_starts_empty(self):
+        assert len(Memory()) == 0
+
+    def test_reads_are_zero_filled(self):
+        m = Memory()
+        assert m.read(100, 4) == b"\x00" * 4
+
+    def test_write_then_read(self):
+        m = Memory()
+        m.write(10, b"hello")
+        assert m.read(10, 5) == b"hello"
+
+    def test_expansion_rounds_to_words(self):
+        m = Memory()
+        m.write(0, b"x")
+        assert len(m) == 32
+        m.write(33, b"y")
+        assert len(m) == 64
+
+    def test_word_round_trip(self):
+        m = Memory()
+        m.write_word(64, 0xDEADBEEF)
+        assert m.read_word(64) == 0xDEADBEEF
+
+    def test_write_byte(self):
+        m = Memory()
+        m.write_byte(5, 0x1FF)  # masked to one byte
+        assert m.read(5, 1) == b"\xff"
+
+    def test_touch_zero_size_no_expansion(self):
+        m = Memory()
+        assert m.touch(10_000, 0) == 0
+        assert len(m) == 0
+
+    def test_cap_enforced(self):
+        m = Memory()
+        with pytest.raises(MemoryError):
+            m.touch(MAX_MEMORY_BYTES, 1)
+
+    def test_negative_access_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().touch(-1, 4)
+
+    def test_words_property(self):
+        m = Memory()
+        m.write(0, b"\x01" * 40)
+        assert m.words == 2

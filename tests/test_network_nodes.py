@@ -1,0 +1,134 @@
+"""Node roles and fork dissemination tests."""
+
+import pytest
+
+from repro.core.occ_wsi import ProposerConfig
+from repro.network.dissemination import ForkSimulator
+from repro.network.node import ProposerNode, ValidatorNode
+
+
+class TestProposerNode:
+    def test_build_block_seals_profile(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        sealed = ProposerNode("alice").build_block(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        block = sealed.block
+        assert block.number == 1
+        assert block.header.proposer_id == "alice"
+        assert block.profile is not None
+        assert len(block.profile) == len(block)
+        block.validate_structure()
+
+    def test_build_block_without_profile(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        sealed = ProposerNode("alice").build_block(
+            genesis_chain.genesis.header,
+            small_universe.genesis,
+            txs,
+            include_profile=False,
+        )
+        assert sealed.block.profile is None
+
+    def test_coinbase_earns_fees(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        node = ProposerNode("alice")
+        sealed = node.build_block(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        assert sealed.post_state.account(node.coinbase).balance == \
+            sealed.proposal.total_fees
+        assert sealed.proposal.total_fees > 0
+
+
+class TestValidatorNode:
+    def test_receive_and_extend_chain(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        sealed = ProposerNode("alice").build_block(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        validator = ValidatorNode("bob", small_universe.genesis)
+        outcome = validator.receive_blocks([sealed.block])
+        assert outcome.accepted == [sealed.block]
+        assert outcome.new_head
+        assert validator.chain.head is sealed.block
+
+    def test_rejects_unknown_parent(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        node = ProposerNode("alice")
+        sealed1 = node.build_block(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        txs2 = small_generator.generate_block_txs()
+        sealed2 = node.build_block(sealed1.block.header, sealed1.post_state, txs2)
+        validator = ValidatorNode("bob", small_universe.genesis)
+        # deliver only the child: its parent is unknown to bob's chain
+        outcome = validator.receive_blocks([sealed2.block])
+        assert outcome.rejected == [sealed2.block]
+
+    def test_fork_siblings_both_stored(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        forks = ForkSimulator(2, seed=4).propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        validator = ValidatorNode("bob", small_universe.genesis)
+        outcome = validator.receive_blocks(forks.blocks)
+        assert len(outcome.accepted) == 2
+        assert len(validator.chain.blocks_at_height(1)) == 2
+        assert validator.chain.uncle_count() == 1
+
+
+class TestForkSimulator:
+    def test_distinct_blocks_same_height(self, small_universe, small_generator, genesis_chain):
+        txs = small_generator.generate_block_txs()
+        forks = ForkSimulator(3, seed=1).propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        blocks = forks.blocks
+        assert len({b.hash for b in blocks}) == 3
+        assert {b.number for b in blocks} == {1}
+        assert {b.header.parent_hash for b in blocks} == {
+            genesis_chain.genesis.header.hash
+        }
+
+    def test_all_forks_individually_valid(
+        self, small_universe, small_generator, genesis_chain
+    ):
+        from repro.core.validator import ParallelValidator
+
+        txs = small_generator.generate_block_txs()
+        forks = ForkSimulator(3, seed=2).propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        validator = ParallelValidator()
+        for block in forks.blocks:
+            res = validator.validate_block(block, small_universe.genesis)
+            assert res.accepted, res.reason
+
+    def test_partial_overlap_produces_smaller_blocks(
+        self, small_universe, small_generator, genesis_chain
+    ):
+        txs = small_generator.generate_block_txs()
+        full = ForkSimulator(2, seed=2, pool_overlap=1.0).propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        partial = ForkSimulator(2, seed=2, pool_overlap=0.5).propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        assert sum(len(b) for b in partial.blocks) < sum(len(b) for b in full.blocks)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ForkSimulator(0)
+        with pytest.raises(ValueError):
+            ForkSimulator(2, pool_overlap=0.0)
+
+    def test_proposer_config_propagates(
+        self, small_universe, small_generator, genesis_chain
+    ):
+        txs = small_generator.generate_block_txs()
+        sim = ForkSimulator(1, proposer_config=ProposerConfig(lanes=2, max_txs=5))
+        forks = sim.propose_forks(
+            genesis_chain.genesis.header, small_universe.genesis, txs
+        )
+        assert len(forks.blocks[0]) == 5

@@ -1,0 +1,85 @@
+"""Whole-network simulation tests."""
+
+import pytest
+
+from repro.network.simnet import NetworkConfig, NetworkSimulation
+from repro.workload.generator import WorkloadConfig
+
+
+def small_workload():
+    return WorkloadConfig(txs_per_block=30, tx_count_jitter=0.0, seed=3)
+
+
+class TestNetworkSimulation:
+    def test_chains_agree_after_run(self, small_universe):
+        sim = NetworkSimulation(
+            small_universe,
+            config=NetworkConfig(rounds=4, n_validators=3, seed=5),
+            workload=small_workload(),
+        )
+        result = sim.run()
+        assert result.chains_agree
+        assert result.final_height == 4
+        assert len(result.rounds) == 4
+        assert all(r.accepted >= 1 for r in result.rounds)
+
+    def test_forks_produce_uncles(self, small_universe):
+        sim = NetworkSimulation(
+            small_universe,
+            config=NetworkConfig(rounds=6, fork_probability=1.0, seed=2),
+            workload=small_workload(),
+        )
+        result = sim.run()
+        assert result.chains_agree
+        assert result.uncle_count == 6  # every round forked
+        assert all(len(r.proposer_ids) == 2 for r in result.rounds)
+
+    def test_no_forks_no_uncles(self, small_universe):
+        sim = NetworkSimulation(
+            small_universe,
+            config=NetworkConfig(rounds=3, fork_probability=0.0, seed=2),
+            workload=small_workload(),
+        )
+        result = sim.run()
+        assert result.uncle_count == 0
+        assert all(len(r.proposer_ids) == 1 for r in result.rounds)
+
+    def test_parallel_tps_beats_serial(self, small_universe):
+        sim = NetworkSimulation(
+            small_universe,
+            config=NetworkConfig(rounds=3, seed=7),
+            workload=small_workload(),
+        )
+        result = sim.run()
+        assert result.parallel_tps > result.serial_tps
+        assert result.total_txs == 3 * 30
+
+    def test_deterministic(self, small_universe):
+        import dataclasses
+
+        r1 = NetworkSimulation(
+            dataclasses.replace(small_universe, nonces={}),
+            config=NetworkConfig(rounds=3, seed=11),
+            workload=small_workload(),
+        ).run()
+        r2 = NetworkSimulation(
+            dataclasses.replace(small_universe, nonces={}),
+            config=NetworkConfig(rounds=3, seed=11),
+            workload=small_workload(),
+        ).run()
+        assert r1.final_root_hex == r2.final_root_hex
+        assert [x.pipeline_makespan for x in r1.rounds] == [
+            x.pipeline_makespan for x in r2.rounds
+        ]
+
+    def test_single_proposer_single_validator(self, small_universe):
+        sim = NetworkSimulation(
+            small_universe,
+            config=NetworkConfig(
+                n_proposers=1, n_validators=1, rounds=2, fork_probability=0.9, seed=1
+            ),
+            workload=small_workload(),
+        )
+        result = sim.run()  # fork probability moot with one proposer
+        assert result.chains_agree
+        assert result.uncle_count == 0

@@ -1,0 +1,169 @@
+"""Merkle-Patricia trie tests: semantics, structural sharing, root properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import keccak
+from repro.state.trie import EMPTY_ROOT, MPT, SecureMPT
+
+
+class TestBasicSemantics:
+    def test_empty_root_constant(self):
+        assert MPT().root_hash() == EMPTY_ROOT
+
+    def test_get_missing_returns_none(self):
+        assert MPT().get(b"missing") is None
+
+    def test_set_then_get(self):
+        t = MPT().set(b"dog", b"puppy")
+        assert t.get(b"dog") == b"puppy"
+
+    def test_overwrite(self):
+        t = MPT().set(b"k", b"v1").set(b"k", b"v2")
+        assert t.get(b"k") == b"v2"
+
+    def test_empty_value_deletes(self):
+        t = MPT().set(b"k", b"v").set(b"k", b"")
+        assert t.get(b"k") is None
+        assert t.root_hash() == EMPTY_ROOT
+
+    def test_delete_missing_is_noop(self):
+        t = MPT().set(b"a", b"1")
+        t2 = t.delete(b"zz")
+        assert t2.root_hash() == t.root_hash()
+
+    def test_prefix_keys_coexist(self):
+        t = MPT().set(b"do", b"verb").set(b"dog", b"puppy").set(b"doge", b"coin")
+        assert t.get(b"do") == b"verb"
+        assert t.get(b"dog") == b"puppy"
+        assert t.get(b"doge") == b"coin"
+
+    def test_immutability(self):
+        t1 = MPT().set(b"a", b"1")
+        t2 = t1.set(b"b", b"2")
+        assert t1.get(b"b") is None
+        assert t2.get(b"a") == b"1"
+        assert t1.root_hash() != t2.root_hash()
+
+    def test_items_sorted(self):
+        t = MPT()
+        for k in [b"zebra", b"apple", b"mango"]:
+            t = t.set(k, k.upper())
+        assert [k for k, _ in t.items()] == sorted([b"zebra", b"apple", b"mango"])
+
+    def test_len(self):
+        t = MPT().set(b"a", b"1").set(b"b", b"2")
+        assert len(t) == 2
+
+
+class TestRootProperties:
+    def test_insertion_order_invariance(self):
+        keys = [f"key{i}".encode() for i in range(30)]
+        t1 = MPT()
+        for k in keys:
+            t1 = t1.set(k, k + b"-v")
+        t2 = MPT()
+        for k in reversed(keys):
+            t2 = t2.set(k, k + b"-v")
+        assert t1.root_hash() == t2.root_hash()
+
+    def test_insert_delete_restores_root(self):
+        t = MPT()
+        for i in range(20):
+            t = t.set(f"k{i}".encode(), b"v")
+        before = t.root_hash()
+        t2 = t.set(b"extra", b"x").delete(b"extra")
+        assert t2.root_hash() == before
+
+    def test_value_changes_root(self):
+        t = MPT().set(b"k", b"v1")
+        assert t.root_hash() != MPT().set(b"k", b"v2").root_hash()
+
+    def test_known_single_entry_stability(self):
+        # regression anchor: the root of a fixed tiny trie must never change
+        r1 = MPT().set(b"a", b"1").root_hash()
+        r2 = MPT().set(b"a", b"1").root_hash()
+        assert r1 == r2
+
+
+@st.composite
+def key_value_dicts(draw):
+    keys = draw(st.lists(st.binary(min_size=1, max_size=8), min_size=0, max_size=25))
+    return {k: draw(st.binary(min_size=1, max_size=16)) for k in keys}
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(key_value_dicts())
+    def test_matches_dict_semantics(self, mapping):
+        t = MPT()
+        for k, v in mapping.items():
+            t = t.set(k, v)
+        for k, v in mapping.items():
+            assert t.get(k) == v
+        assert len(t) == len(mapping)
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_value_dicts(), st.randoms(use_true_random=False))
+    def test_root_independent_of_order(self, mapping, rng):
+        items = list(mapping.items())
+        t1 = MPT()
+        for k, v in items:
+            t1 = t1.set(k, v)
+        rng.shuffle(items)
+        t2 = MPT()
+        for k, v in items:
+            t2 = t2.set(k, v)
+        assert t1.root_hash() == t2.root_hash()
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_value_dicts())
+    def test_delete_all_returns_to_empty(self, mapping):
+        t = MPT()
+        for k, v in mapping.items():
+            t = t.set(k, v)
+        for k in mapping:
+            t = t.delete(k)
+        assert t.root_hash() == EMPTY_ROOT
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_value_dicts(), key_value_dicts())
+    def test_distinct_mappings_distinct_roots(self, a, b):
+        ta = MPT()
+        for k, v in a.items():
+            ta = ta.set(k, v)
+        tb = MPT()
+        for k, v in b.items():
+            tb = tb.set(k, v)
+        if a == b:
+            assert ta.root_hash() == tb.root_hash()
+        else:
+            assert ta.root_hash() != tb.root_hash()
+
+
+class TestSecureMPT:
+    def test_get_set(self):
+        t = SecureMPT().set(b"account1", b"data")
+        assert t.get(b"account1") == b"data"
+
+    def test_keys_are_hashed(self):
+        t = SecureMPT().set(b"k", b"v")
+        # the raw key is not reachable through the underlying trie
+        assert t._trie.get(b"k") is None
+        assert t._trie.get(keccak(b"k")) == b"v"
+
+    def test_delete(self):
+        t = SecureMPT().set(b"k", b"v").delete(b"k")
+        assert t.get(b"k") is None
+        assert t.is_empty()
+
+    def test_root_matches_regardless_of_insertion_order(self):
+        keys = [f"acct{i}".encode() for i in range(10)]
+        t1 = SecureMPT()
+        t2 = SecureMPT()
+        for k in keys:
+            t1 = t1.set(k, b"v")
+        for k in reversed(keys):
+            t2 = t2.set(k, b"v")
+        assert t1.root_hash() == t2.root_hash()

@@ -1,0 +1,179 @@
+"""Tests for the multi-version store and OCC snapshot views."""
+
+import pytest
+
+from repro.common.types import Address
+from repro.state.access import RecordingState, balance_key, storage_key
+from repro.state.account import AccountData
+from repro.state.statedb import genesis_snapshot
+from repro.state.versioned import MultiVersionStore, OCCStateView
+
+A1 = Address.from_int(1)
+A2 = Address.from_int(2)
+
+
+def make_store():
+    base = genesis_snapshot(
+        {A1: AccountData(balance=100), A2: AccountData(balance=50, storage={3: 9})}
+    )
+    return MultiVersionStore(base)
+
+
+class TestMultiVersionStore:
+    def test_version_zero_reads_base(self):
+        store = make_store()
+        assert store.read_at(balance_key(A1), 0) == 100
+        assert store.read_at(storage_key(A2, 3), 0) == 9
+        assert store.read_at(storage_key(A2, 99), 0) == 0
+
+    def test_versioned_reads(self):
+        store = make_store()
+        store.apply({balance_key(A1): 90}, 1)
+        store.apply({balance_key(A1): 80}, 2)
+        assert store.read_at(balance_key(A1), 0) == 100
+        assert store.read_at(balance_key(A1), 1) == 90
+        assert store.read_at(balance_key(A1), 2) == 80
+        assert store.read_at(balance_key(A1), 7) == 80  # future snapshot sees latest
+
+    def test_latest_version(self):
+        store = make_store()
+        assert store.latest_version(balance_key(A1)) == 0
+        store.apply({balance_key(A1): 90}, 1)
+        assert store.latest_version(balance_key(A1)) == 1
+        assert store.latest_version(balance_key(A2)) == 0
+
+    def test_out_of_order_commit_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.apply({balance_key(A1): 90}, 2)
+        store.apply({}, 1)
+        with pytest.raises(ValueError):
+            store.apply({}, 1)
+
+    def test_final_values(self):
+        store = make_store()
+        store.apply({balance_key(A1): 90}, 1)
+        store.apply({balance_key(A1): 80, storage_key(A2, 3): 10}, 2)
+        finals = store.final_values()
+        assert finals[balance_key(A1)] == 80
+        assert finals[storage_key(A2, 3)] == 10
+
+
+class TestOCCStateView:
+    def test_reads_at_snapshot_version(self):
+        store = make_store()
+        store.apply({balance_key(A1): 90}, 1)
+        old_view = OCCStateView(store, 0)
+        new_view = OCCStateView(store, 1)
+        assert old_view.get_balance(A1) == 100
+        assert new_view.get_balance(A1) == 90
+
+    def test_read_your_own_write(self):
+        view = OCCStateView(make_store(), 0)
+        view.set_storage(A2, 3, 77)
+        assert view.get_storage(A2, 3) == 77
+
+    def test_writes_invisible_to_other_views(self):
+        store = make_store()
+        v1 = OCCStateView(store, 0)
+        v2 = OCCStateView(store, 0)
+        v1.set_balance(A1, 1)
+        assert v2.get_balance(A1) == 100
+
+    def test_journal_revert(self):
+        view = OCCStateView(make_store(), 0)
+        view.set_balance(A1, 60)
+        mark = view.snapshot()
+        view.set_balance(A1, 10)
+        view.set_storage(A2, 3, 0)
+        view.revert_to(mark)
+        assert view.get_balance(A1) == 60
+        assert view.get_storage(A2, 3) == 9
+
+    def test_buffered_writes_exposed(self):
+        view = OCCStateView(make_store(), 0)
+        view.set_balance(A1, 60)
+        view.set_storage(A2, 3, 1)
+        writes = view.buffered_writes
+        assert writes[balance_key(A1)] == 60
+        assert writes[storage_key(A2, 3)] == 1
+
+    def test_negative_balance_rejected(self):
+        view = OCCStateView(make_store(), 0)
+        with pytest.raises(ValueError):
+            view.sub_balance(A1, 101)
+
+    def test_nonce_and_code(self):
+        view = OCCStateView(make_store(), 0)
+        assert view.get_nonce(A1) == 0
+        view.increment_nonce(A1)
+        assert view.get_nonce(A1) == 1
+        view.set_code(A2, b"\x01\x02")
+        assert view.get_code(A2) == b"\x01\x02"
+
+    def test_account_exists(self):
+        view = OCCStateView(make_store(), 0)
+        assert view.account_exists(A1)
+        assert not view.account_exists(Address.from_int(999))
+
+
+class TestRecordingState:
+    def test_reads_recorded_with_version(self):
+        store = make_store()
+        rec = RecordingState(OCCStateView(store, 0), version=0)
+        rec.get_balance(A1)
+        rec.get_storage(A2, 3)
+        assert rec.rw.reads[balance_key(A1)] == 0
+        assert rec.rw.reads[storage_key(A2, 3)] == 0
+
+    def test_writes_recorded(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.set_storage(A2, 3, 5)
+        assert rec.rw.writes[storage_key(A2, 3)] == 5
+
+    def test_read_after_own_write_not_recorded(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.set_storage(A2, 3, 5)
+        rec.get_storage(A2, 3)
+        assert storage_key(A2, 3) not in rec.rw.reads
+
+    def test_read_before_write_recorded_once(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.get_storage(A2, 3)
+        rec.set_storage(A2, 3, 5)
+        rec.get_storage(A2, 3)
+        assert storage_key(A2, 3) in rec.rw.reads
+        assert rec.rw.writes[storage_key(A2, 3)] == 5
+
+    def test_add_balance_records_read_and_write(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.add_balance(A1, 10)
+        assert balance_key(A1) in rec.rw.reads
+        assert rec.rw.writes[balance_key(A1)] == 110
+
+    def test_conflict_detection_between_rwsets(self):
+        rec1 = RecordingState(OCCStateView(make_store(), 0))
+        rec1.get_storage(A2, 3)
+        rec2 = RecordingState(OCCStateView(make_store(), 0))
+        rec2.set_storage(A2, 3, 1)
+        assert rec1.rw.conflicts_with(rec2.rw)
+        assert rec2.rw.conflicts_with(rec1.rw)
+
+        rec3 = RecordingState(OCCStateView(make_store(), 0))
+        rec3.get_balance(A1)
+        assert not rec3.rw.conflicts_with(rec2.rw)
+
+    def test_touched_addresses(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.get_balance(A1)
+        rec.set_storage(A2, 3, 1)
+        assert rec.rw.touched_addresses() == frozenset({A1, A2})
+
+    def test_freeze_round_trip(self):
+        rec = RecordingState(OCCStateView(make_store(), 0))
+        rec.get_balance(A1)
+        rec.set_storage(A2, 3, 1)
+        frozen = rec.rw.freeze()
+        assert balance_key(A1) in frozen.read_keys()
+        assert storage_key(A2, 3) in frozen.write_keys()
+        assert hash(frozen) == hash(rec.rw.freeze())

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples clean
+.PHONY: install test test-fast test-faults bench examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+test-faults:
+	$(PYTHON) -m pytest tests/test_faults_taxonomy.py tests/test_property_faults.py \
+		tests/test_network_faults.py benchmarks/bench_fault_overhead.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.chain.block import Block, Receipt, TxProfileEntry, receipts_root
 from repro.chain.bloom import bloom_from_logs
 from repro.evm.interpreter import TxResult
+from repro.faults.errors import FailureReason, ValidationFailure
 from repro.state.access import ReadWriteSet
 from repro.state.statedb import StateSnapshot
 
@@ -33,12 +34,26 @@ __all__ = ["ProfileMismatch", "ValidationOutcome", "Applier"]
 
 
 class ProfileMismatch(Exception):
-    """Re-executed transaction disagrees with the block profile."""
+    """Re-executed transaction disagrees with the block profile.
 
-    def __init__(self, tx_index: int, reason: str) -> None:
+    ``code`` classifies the disagreement (read set, write set, or the
+    gas/status claims) so callers can build a typed
+    :class:`~repro.faults.errors.ValidationFailure` from it.
+    """
+
+    def __init__(
+        self,
+        tx_index: int,
+        reason: str,
+        code: FailureReason = FailureReason.PROFILE_GAS_MISMATCH,
+    ) -> None:
         super().__init__(f"tx {tx_index}: {reason}")
         self.tx_index = tx_index
         self.reason = reason
+        self.code = code
+
+    def failure(self) -> ValidationFailure:
+        return ValidationFailure(self.code, tx_index=self.tx_index, detail=self.reason)
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,7 @@ class ValidationOutcome:
     accepted: bool
     reason: Optional[str] = None
     failed_tx: Optional[int] = None
+    failure: Optional[ValidationFailure] = None
 
 
 class Applier:
@@ -68,12 +84,14 @@ class Applier:
             raise ProfileMismatch(
                 index,
                 f"gas mismatch: executed {result.gas_used}, profile {entry.gas_used}",
+                code=FailureReason.PROFILE_GAS_MISMATCH,
             )
         if result.success != entry.success:
             raise ProfileMismatch(
                 index,
                 f"status mismatch: executed {result.success}, "
                 f"profile {entry.success}",
+                code=FailureReason.PROFILE_GAS_MISMATCH,
             )
         expected_reads = entry.rw.read_keys()
         actual_reads = frozenset(rw.reads)
@@ -83,10 +101,13 @@ class Applier:
             raise ProfileMismatch(
                 index,
                 f"read set mismatch: missing {len(missing)}, extra {len(extra)}",
+                code=FailureReason.PROFILE_READ_MISMATCH,
             )
         expected_writes = dict(entry.rw.write_items())
         if dict(rw.writes) != expected_writes:
-            raise ProfileMismatch(index, "write set mismatch")
+            raise ProfileMismatch(
+                index, "write set mismatch", code=FailureReason.PROFILE_WRITE_MISMATCH
+            )
 
     def verify_block(
         self,
@@ -97,18 +118,24 @@ class Applier:
         computed_logs=None,
     ) -> ValidationOutcome:
         """Final block-level checks after all transactions verified."""
+
+        def failed(reason: str, code: FailureReason) -> ValidationOutcome:
+            return ValidationOutcome(
+                False, reason, failure=ValidationFailure(code, detail=reason)
+            )
+
         if computed_logs is not None:
             bloom = bloom_from_logs(computed_logs).to_bytes()
             if bloom != block.header.logs_bloom:
-                return ValidationOutcome(False, "logs bloom mismatch")
+                return failed("logs bloom mismatch", FailureReason.RECEIPT_MISMATCH)
         if total_gas != block.header.gas_used:
-            return ValidationOutcome(
-                False,
+            return failed(
                 f"block gas mismatch: executed {total_gas}, "
                 f"header {block.header.gas_used}",
+                FailureReason.RECEIPT_MISMATCH,
             )
         if receipts_root(computed_receipts) != block.header.receipts_root:
-            return ValidationOutcome(False, "receipts root mismatch")
+            return failed("receipts root mismatch", FailureReason.RECEIPT_MISMATCH)
         if computed_state.state_root() != block.header.state_root:
-            return ValidationOutcome(False, "state root mismatch")
+            return failed("state root mismatch", FailureReason.STATE_ROOT_MISMATCH)
         return ValidationOutcome(True)

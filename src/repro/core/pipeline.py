@@ -33,6 +33,8 @@ from repro.chain.block import Block
 from repro.common.hashing import Hash32
 from repro.core.validator import ParallelValidator, ValidationResult, ValidatorConfig
 from repro.evm.interpreter import EVM, ExecutionContext
+from repro.faults.errors import FailureReason, ValidationFailure
+from repro.faults.injector import FaultInjector
 from repro.simcore.costmodel import CostModel
 from repro.simcore.lanes import LaneGroup
 from repro.simcore.stats import RunStats
@@ -51,6 +53,15 @@ class PipelineConfig:
     verify_profile: bool = True
     #: record per-lane (start, end, tag) traces for timeline rendering
     record_trace: bool = False
+    #: Once one fork sibling at a height commits, abandon the other
+    #: in-flight siblings at that height instead of validating them
+    #: (frees worker lanes; abandoned blocks get SIBLING_ABANDONED).
+    #: Off by default — uncle bookkeeping needs fully validated siblings.
+    abandon_siblings: bool = False
+    #: Fault-tolerance knobs forwarded to the per-block validator.
+    max_parallel_retries: int = 2
+    serial_fallback: bool = True
+    timeout_us: Optional[float] = None
 
 
 @dataclass
@@ -89,6 +100,18 @@ class PipelineResult:
     def all_accepted(self) -> bool:
         return all(t.accepted for t in self.timings)
 
+    @property
+    def failures(self) -> List[Optional[ValidationFailure]]:
+        """Per-block typed failures (None for accepted blocks)."""
+        return [r.failure if r is not None else None for r in self.results]
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of the batch that was rejected or abandoned."""
+        if not self.timings:
+            return 0.0
+        return sum(1 for t in self.timings if not t.accepted) / len(self.timings)
+
 
 class ValidatorPipeline:
     """Multi-block concurrent validation over a shared worker pool."""
@@ -98,6 +121,7 @@ class ValidatorPipeline:
         evm: Optional[EVM] = None,
         config: Optional[PipelineConfig] = None,
         cost_model: Optional[CostModel] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or PipelineConfig()
@@ -109,8 +133,12 @@ class ValidatorPipeline:
                 policy=self.config.policy,
                 seed=self.config.seed,
                 verify_profile=self.config.verify_profile,
+                max_parallel_retries=self.config.max_parallel_retries,
+                serial_fallback=self.config.serial_fallback,
+                timeout_us=self.config.timeout_us,
             ),
             cost_model=self.cost_model,
+            injector=injector,
         )
 
     # ------------------------------------------------------------------ #
@@ -151,9 +179,18 @@ class ValidatorPipeline:
 
         # ---- real validation, in dependency order ----------------------- #
         results: List[Optional[ValidationResult]] = [None] * n
+        committed_heights: set = set()
         for i in order:
             block = blocks[i]
             p = parent_index[i]
+            if (
+                self.config.abandon_siblings
+                and block.header.number in committed_heights
+            ):
+                # a sibling already committed at this height: abandon the
+                # in-flight fork block instead of burning lanes on it
+                results[i] = _abandoned_sibling(block)
+                continue
             if p is not None:
                 parent_result = results[p]
                 if parent_result is None or not parent_result.accepted:
@@ -166,6 +203,8 @@ class ValidatorPipeline:
                     results[i] = _rejected_unknown_parent(block)
                     continue
             results[i] = self._validator.validate_block(block, parent_state, ctx)  # ctx=None derives from each header
+            if results[i].accepted:
+                committed_heights.add(block.header.number)
 
         # ---- timing simulation over the shared worker pool ---------------- #
         timings, switches, pool = self._simulate(
@@ -184,6 +223,18 @@ class ValidatorPipeline:
             tasks=sum(len(r.tx_costs) for r in results if r is not None),
             context_switches=switches,
         )
+        for r in results:
+            if r is None:
+                continue
+            if r.stats is not None:
+                stats.worker_faults += r.stats.worker_faults
+                stats.exec_retries += r.stats.exec_retries
+                stats.serial_fallbacks += r.stats.serial_fallbacks
+            else:
+                stats.worker_faults += r.worker_faults
+                stats.exec_retries += max(r.exec_attempts - 1, 0)
+            if r.failure is not None:
+                stats.count_failure(r.failure.reason)
         return PipelineResult(
             results=[r for r in results],
             timings=timings,
@@ -327,10 +378,10 @@ class ValidatorPipeline:
         return [t for t in timings], pool.total_context_switches, pool
 
 
-def _rejected_for_parent(block: Block) -> ValidationResult:
+def _skipped(block: Block, reason: str, code: FailureReason) -> ValidationResult:
     return ValidationResult(
         accepted=False,
-        reason="parent block rejected",
+        reason=reason,
         post_state=None,
         graph=None,
         plan=None,
@@ -340,20 +391,21 @@ def _rejected_for_parent(block: Block) -> ValidationResult:
         phases=None,
         serial_time=0.0,
         stats=None,
+        failure=ValidationFailure(code, detail=reason),
     )
 
 
+def _rejected_for_parent(block: Block) -> ValidationResult:
+    return _skipped(block, "parent block rejected", FailureReason.PARENT_REJECTED)
+
+
 def _rejected_unknown_parent(block: Block) -> ValidationResult:
-    return ValidationResult(
-        accepted=False,
-        reason="unknown parent state",
-        post_state=None,
-        graph=None,
-        plan=None,
-        tx_costs=[],
-        tx_results=[],
-        tx_rwsets=[],
-        phases=None,
-        serial_time=0.0,
-        stats=None,
+    return _skipped(block, "unknown parent state", FailureReason.UNKNOWN_PARENT)
+
+
+def _abandoned_sibling(block: Block) -> ValidationResult:
+    return _skipped(
+        block,
+        f"abandoned: sibling committed at height {block.header.number}",
+        FailureReason.SIBLING_ABANDONED,
     )

@@ -35,6 +35,8 @@ from repro.core.depgraph import DependencyGraph, build_dependency_graph
 from repro.core.proposer import finalize_block_state
 from repro.core.scheduler import SchedulePlan, schedule_components
 from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
+from repro.faults.errors import FailureReason, ValidationFailure, WorkerFault
+from repro.faults.injector import FaultInjector
 from repro.simcore.costmodel import CostModel
 from repro.simcore.stats import RunStats
 from repro.state.access import ReadWriteSet, RecordingState
@@ -69,6 +71,19 @@ class ValidatorConfig:
     #: exact state keys as the unit — finer, more parallel, but unsound
     #: for account-root maintenance; provided as an ablation.
     granularity: str = "account"
+    #: How many times a block whose execution hit a transient
+    #: :class:`~repro.faults.errors.WorkerFault` is re-attempted in
+    #: parallel (with exponential ``CostModel.retry_backoff``) before
+    #: degrading.
+    max_parallel_retries: int = 2
+    #: After retry exhaustion, fall back to serial re-execution of the
+    #: block (the Block-STM guarantee: correctness preserved, throughput
+    #: sacrificed).  When off, the block is rejected with WORKER_FAULT.
+    serial_fallback: bool = True
+    #: Simulated-time budget (µs) for one block's validation; ``None``
+    #: disables the check.  A block whose commit time exceeds it is
+    #: rejected with TIMEOUT — stalled workers can push a block over.
+    timeout_us: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -101,6 +116,15 @@ class ValidationResult:
     serial_time: float
     stats: Optional[RunStats]
     prep_cost: float = 0.0
+    #: Typed classification of the rejection (None when accepted or when
+    #: the failure is a local misconfiguration rather than the block's).
+    failure: Optional[ValidationFailure] = None
+    #: Transient worker crashes observed while (re-)executing this block.
+    worker_faults: int = 0
+    #: Execution attempts consumed (1 = clean first pass).
+    exec_attempts: int = 1
+    #: Whether validation degraded to serial re-execution.
+    used_serial_fallback: bool = False
 
     @property
     def makespan(self) -> float:
@@ -121,11 +145,15 @@ class ParallelValidator:
         evm: Optional[EVM] = None,
         config: Optional[ValidatorConfig] = None,
         cost_model: Optional[CostModel] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
         self.cost_model = cost_model or CostModel()
         self.applier = Applier()
+        #: Optional fault source consulted during the execution phase.
+        #: ``None`` (production) makes every fault hook a no-op.
+        self.injector = injector
 
     # ------------------------------------------------------------------ #
 
@@ -164,50 +192,112 @@ class ParallelValidator:
                 phases=None,
                 serial_time=kwargs.get("serial_time", 0.0),
                 stats=None,
+                failure=kwargs.get("failure"),
+                worker_faults=kwargs.get("worker_faults", 0),
+                exec_attempts=kwargs.get("exec_attempts", 1),
+            )
+
+        def malformed(reason: str, tx_index: Optional[int] = None, **kwargs):
+            return rejected(
+                reason,
+                failure=ValidationFailure(
+                    FailureReason.MALFORMED_BLOCK, tx_index=tx_index, detail=reason
+                ),
+                **kwargs,
             )
 
         try:
             block.validate_structure()
         except ValueError as exc:
-            return rejected(f"structure: {exc}")
+            return malformed(f"structure: {exc}")
 
         params = self.config.params
         if block.header.gas_used > block.header.gas_limit:
-            return rejected(
+            return malformed(
                 f"block gas {block.header.gas_used} exceeds limit "
                 f"{block.header.gas_limit}"
             )
         if len(block.uncles) > params.max_uncles:
-            return rejected(f"too many uncles: {len(block.uncles)}")
+            return malformed(f"too many uncles: {len(block.uncles)}")
         for uncle in block.uncles:
             if not params.validate_uncle(block.number, uncle.number):
-                return rejected(
+                return malformed(
                     f"uncle at height {uncle.number} invalid for block {block.number}"
                 )
 
         # ----- real execution (block order; subgraphs are disjoint) ------ #
-        db = StateDB(parent_state)
-        tx_results: List[TxResult] = []
-        tx_rwsets: List[ReadWriteSet] = []
-        tx_costs: List[float] = []
-        total_fees = 0
-        total_gas = 0
-        for index, tx in enumerate(block.transactions):
-            rec = RecordingState(db)
-            try:
-                result = self.evm.apply_transaction(rec, tx, ctx)
-            except InvalidTransaction as exc:
+        # Transient worker faults abort the attempt — partial results are
+        # discarded (the fresh StateDB per attempt is what guarantees "no
+        # partial commits leak") and the block is re-attempted after a
+        # deterministic backoff.  When parallel retries are exhausted the
+        # validator degrades to injector-free serial re-execution (Block-STM's
+        # guarantee: a faulty lane costs throughput, never correctness).
+        consult = (
+            self.injector
+            if self.injector is not None and self.injector.injects_execution_faults
+            else None
+        )
+        attempt = 0
+        worker_faults = 0
+        retry_penalty = 0.0
+        used_serial = False
+        while True:
+            db = StateDB(parent_state)
+            tx_results: List[TxResult] = []
+            tx_rwsets: List[ReadWriteSet] = []
+            tx_costs: List[float] = []
+            total_fees = 0
+            total_gas = 0
+            crashed: Optional[WorkerFault] = None
+            for index, tx in enumerate(block.transactions):
+                stall = 0.0
+                if consult is not None:
+                    fault = consult.execution_fault(block.hash, attempt, index)
+                    if fault.crash:
+                        crashed = WorkerFault(index, "injected worker crash")
+                        break
+                    stall = fault.stall_us
+                rec = RecordingState(db)
+                try:
+                    result = self.evm.apply_transaction(rec, tx, ctx)
+                except InvalidTransaction as exc:
+                    return malformed(
+                        f"invalid tx {index}: {exc}",
+                        tx_index=index,
+                        tx_results=tx_results,
+                        tx_rwsets=tx_rwsets,
+                        tx_costs=tx_costs,
+                        worker_faults=worker_faults,
+                        exec_attempts=attempt + 1,
+                    )
+                tx_results.append(result)
+                tx_rwsets.append(rec.rw)
+                tx_costs.append(model.tx_cost(result.trace) + stall)
+                total_fees += result.fee
+                total_gas += result.gas_used
+            if crashed is None:
+                break
+            worker_faults += 1
+            retry_penalty += model.abort_overhead + model.retry_backoff * (2**attempt)
+            if attempt < self.config.max_parallel_retries:
+                attempt += 1
+                continue
+            if not self.config.serial_fallback:
                 return rejected(
-                    f"invalid tx {index}: {exc}",
-                    tx_results=tx_results,
-                    tx_rwsets=tx_rwsets,
-                    tx_costs=tx_costs,
+                    f"worker fault at tx {crashed.tx_index} persisted through "
+                    f"{attempt + 1} parallel attempts",
+                    failure=ValidationFailure(
+                        FailureReason.WORKER_FAULT,
+                        tx_index=crashed.tx_index,
+                        detail=crashed.detail,
+                    ),
+                    worker_faults=worker_faults,
+                    exec_attempts=attempt + 1,
                 )
-            tx_results.append(result)
-            tx_rwsets.append(rec.rw)
-            tx_costs.append(model.tx_cost(result.trace))
-            total_fees += result.fee
-            total_gas += result.gas_used
+            # degrade: one final serial pass, fault hooks disabled
+            used_serial = True
+            consult = None
+            attempt += 1
 
         # storage I/O model (§5.4): either the preparation phase prefetches
         # every slot the profile names, or each read pays the cold path
@@ -270,7 +360,7 @@ class ParallelValidator:
             gas_estimates = [r.gas_used for r in tx_results]
             prep_cost += sum(tx_costs)
         else:
-            return rejected(
+            return malformed(
                 "missing block profile",
                 tx_results=tx_results,
                 tx_rwsets=tx_rwsets,
@@ -278,10 +368,12 @@ class ParallelValidator:
                 serial_time=serial_time,
             )
 
+        # retry backoff delays everything downstream of preparation; a
+        # serial-fallback block runs its whole execution on one lane
+        prep_cost += retry_penalty
+        lanes = 1 if used_serial else self.config.lanes
         graph = build_dependency_graph(footprints, gas_estimates)
-        plan = schedule_components(
-            graph, self.config.lanes, self.config.policy, self.config.seed
-        )
+        plan = schedule_components(graph, lanes, self.config.policy, self.config.seed)
 
         # ----- profile verification (Algorithm 2) -------------------------- #
         if profile is not None and self.config.verify_profile:
@@ -293,12 +385,15 @@ class ParallelValidator:
             except ProfileMismatch as exc:
                 return rejected(
                     f"profile mismatch: {exc}",
+                    failure=exc.failure(),
                     graph=graph,
                     plan=plan,
                     tx_results=tx_results,
                     tx_rwsets=tx_rwsets,
                     tx_costs=tx_costs,
                     serial_time=serial_time,
+                    worker_faults=worker_faults,
+                    exec_attempts=attempt + 1,
                 )
 
         # ----- block-level checks ------------------------------------------ #
@@ -318,16 +413,43 @@ class ParallelValidator:
         if not outcome.accepted:
             return rejected(
                 outcome.reason or "block verification failed",
+                failure=outcome.failure,
                 graph=graph,
                 plan=plan,
                 tx_results=tx_results,
                 tx_rwsets=tx_rwsets,
                 tx_costs=tx_costs,
                 serial_time=serial_time,
+                worker_faults=worker_faults,
+                exec_attempts=attempt + 1,
             )
 
         # ----- timing simulation ------------------------------------------- #
         phases, stats = self._simulate_timing(plan, tx_costs, prep_cost)
+        stats.worker_faults = worker_faults
+        stats.exec_retries = attempt
+        stats.serial_fallbacks = 1 if used_serial else 0
+
+        if (
+            self.config.timeout_us is not None
+            and phases.commit_end > self.config.timeout_us
+        ):
+            return rejected(
+                f"validation timed out: {phases.commit_end:.1f}µs exceeds "
+                f"budget {self.config.timeout_us:.1f}µs",
+                failure=ValidationFailure(
+                    FailureReason.TIMEOUT,
+                    detail=f"makespan {phases.commit_end:.1f}µs",
+                ),
+                graph=graph,
+                plan=plan,
+                tx_results=tx_results,
+                tx_rwsets=tx_rwsets,
+                tx_costs=tx_costs,
+                serial_time=serial_time,
+                worker_faults=worker_faults,
+                exec_attempts=attempt + 1,
+            )
 
         return ValidationResult(
             accepted=True,
@@ -342,6 +464,9 @@ class ParallelValidator:
             serial_time=serial_time,
             stats=stats,
             prep_cost=prep_cost,
+            worker_faults=worker_faults,
+            exec_attempts=attempt + 1,
+            used_serial_fallback=used_serial,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,30 @@
+"""Byzantine fault injection and the typed validation-failure taxonomy.
+
+The paper's applier (Algorithm 2) assumes honest blocks; this package
+exercises the *other* path: lying profiles, corrupted blocks, crashing
+workers and flaky channels.  The design target is Block-STM's guarantee —
+an adversarial proposer can at worst degrade performance, never
+correctness (see PAPERS.md).
+
+Layout:
+
+* :mod:`repro.faults.errors` — :class:`FailureReason`/:class:`ValidationFailure`,
+  the structured rejection taxonomy threaded through the validator stack;
+* :mod:`repro.faults.injector` — the seeded :class:`FaultInjector` (block
+  corruption, worker crashes/stalls) and :class:`FaultyChannel` (drop,
+  duplicate, reorder, bounded delay);
+* :mod:`repro.faults.scenarios` — a named scenario per failure variant,
+  each driving the fault through the *public* validator/pipeline/node API.
+"""
+
+from repro.faults.errors import FailureReason, ValidationFailure, WorkerFault
+from repro.faults.injector import FaultConfig, FaultInjector, FaultyChannel
+
+__all__ = [
+    "FailureReason",
+    "ValidationFailure",
+    "WorkerFault",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyChannel",
+]

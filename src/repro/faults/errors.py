@@ -1,0 +1,104 @@
+"""The typed validation-failure taxonomy.
+
+Every way a block can fail validation gets one :class:`FailureReason`
+variant; the validator, pipeline and node attach a
+:class:`ValidationFailure` to each rejection so benchmarks can count
+*why* blocks were thrown out, not just that they were.  The string
+``reason`` fields on ``ValidationResult``/``ValidationOutcome`` are kept
+for human consumption and backward compatibility; the enum is the
+machine-readable channel.
+
+This module is imported by ``repro.core`` — it must stay dependency-free
+(stdlib only) to avoid layering cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FailureReason",
+    "ValidationFailure",
+    "WorkerFault",
+    "BYZANTINE_REASONS",
+]
+
+
+class FailureReason(enum.Enum):
+    """Why a block was rejected (or abandoned) by the validator stack."""
+
+    #: Structural violation: tx/receipt root mismatch, profile misaligned,
+    #: gas-limit overflow, bad uncles, invalid transaction, missing profile.
+    MALFORMED_BLOCK = "malformed_block"
+    #: Re-executed read key set disagrees with the block profile.
+    PROFILE_READ_MISMATCH = "profile_read_mismatch"
+    #: Re-executed write set (keys or values) disagrees with the profile.
+    PROFILE_WRITE_MISMATCH = "profile_write_mismatch"
+    #: Per-transaction gas or success flag disagrees with the profile.
+    PROFILE_GAS_MISMATCH = "profile_gas_mismatch"
+    #: Recomputed receipts/bloom/total-gas disagree with the header.
+    RECEIPT_MISMATCH = "receipt_mismatch"
+    #: Recomputed state root disagrees with the header.
+    STATE_ROOT_MISMATCH = "state_root_mismatch"
+    #: A worker lane crashed and parallel retries were exhausted (with
+    #: serial fallback disabled — otherwise the block degrades, not fails).
+    WORKER_FAULT = "worker_fault"
+    #: Simulated validation time exceeded the configured budget.
+    TIMEOUT = "timeout"
+    #: The block's parent state is not known to the pipeline.
+    UNKNOWN_PARENT = "unknown_parent"
+    #: The block's parent was itself rejected in the same batch.
+    PARENT_REJECTED = "parent_rejected"
+    #: A same-height sibling committed first and this block was abandoned
+    #: to free worker lanes (``PipelineConfig.abandon_siblings``).
+    SIBLING_ABANDONED = "sibling_abandoned"
+    #: The proposer was quarantined after repeated profile-check failures.
+    PROPOSER_QUARANTINED = "proposer_quarantined"
+
+    def __str__(self) -> str:  # stable, compact (used in reports/counters)
+        return self.value
+
+
+#: Reasons that indicate a *lying proposer* (profile or header claims that
+#: execution disproved) — the strikes that drive proposer quarantine.
+BYZANTINE_REASONS = frozenset(
+    {
+        FailureReason.PROFILE_READ_MISMATCH,
+        FailureReason.PROFILE_WRITE_MISMATCH,
+        FailureReason.PROFILE_GAS_MISMATCH,
+        FailureReason.RECEIPT_MISMATCH,
+        FailureReason.STATE_ROOT_MISMATCH,
+        FailureReason.MALFORMED_BLOCK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ValidationFailure:
+    """One structured rejection: what failed, where, and the evidence."""
+
+    reason: FailureReason
+    tx_index: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f" @tx {self.tx_index}" if self.tx_index is not None else ""
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"{self.reason.value}{where}{suffix}"
+
+
+class WorkerFault(Exception):
+    """A worker lane crashed mid-execution (transient unless it recurs).
+
+    Raised from inside the validator's execution phase — by the fault
+    injector in tests/benchmarks, or by any future real worker backend.
+    The validator catches it, discards the attempt's partial state, and
+    retries with deterministic backoff.
+    """
+
+    def __init__(self, tx_index: int, detail: str = "") -> None:
+        super().__init__(f"worker fault at tx {tx_index}" + (f": {detail}" if detail else ""))
+        self.tx_index = tx_index
+        self.detail = detail

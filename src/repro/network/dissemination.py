@@ -17,6 +17,7 @@ from repro.chain.block import Block, BlockHeader
 from repro.core.occ_wsi import ProposerConfig
 from repro.core.proposer import SealedProposal
 from repro.evm.interpreter import EVM
+from repro.faults.injector import FaultInjector
 from repro.network.node import ProposerNode
 from repro.simcore.costmodel import CostModel
 from repro.state.statedb import StateSnapshot
@@ -30,10 +31,17 @@ class ForkSet:
     """K sibling proposals over the same parent."""
 
     proposals: List[SealedProposal]
+    #: the block actually broadcast per proposer — the sealed block, or a
+    #: corrupted copy for byzantine proposers
+    published: List[Block] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.published is None:
+            self.published = [p.block for p in self.proposals]
 
     @property
     def blocks(self) -> List[Block]:
-        return [p.block for p in self.proposals]
+        return self.published
 
 
 class ForkSimulator:
@@ -48,13 +56,21 @@ class ForkSimulator:
         cost_model: Optional[CostModel] = None,
         pool_overlap: float = 1.0,
         seed: int = 7,
+        injector: Optional[FaultInjector] = None,
+        byzantine: Sequence[int] = (),
+        corruption: str = "profile_write_value",
     ) -> None:
         if n_proposers < 1:
             raise ValueError("need at least one proposer")
         if not 0.0 < pool_overlap <= 1.0:
             raise ValueError("pool_overlap must be in (0, 1]")
+        if byzantine and injector is None:
+            raise ValueError("byzantine proposers need a FaultInjector")
         self.rng = random.Random(seed)
         self.pool_overlap = pool_overlap
+        self.injector = injector
+        self.byzantine = frozenset(byzantine)
+        self.corruption = corruption
         self.proposers = [
             ProposerNode(
                 f"proposer-{i}",
@@ -79,17 +95,27 @@ class ForkSimulator:
         different serializable orders.  Per-sender nonce prefixes are
         preserved when subsetting, otherwise the pool would reject gapped
         nonces.
+
+        Proposers listed in ``byzantine`` seal honestly, then publish a
+        deterministically corrupted copy of their block — the sibling set a
+        hardened validator must survive.
         """
         proposals = []
-        for node in self.proposers:
+        published = []
+        for index, node in enumerate(self.proposers):
             view = list(pending)
             if self.pool_overlap < 1.0:
                 view = self._nonce_safe_subset(view)
             self.rng.shuffle(view)
             # the pool requires per-sender non-decreasing nonce arrival
             view.sort(key=lambda tx: tx.nonce)
-            proposals.append(node.build_block(parent, parent_state, view))
-        return ForkSet(proposals)
+            sealed = node.build_block(parent, parent_state, view)
+            proposals.append(sealed)
+            block = sealed.block
+            if index in self.byzantine and self.injector is not None:
+                block = self.injector.corrupt_block(block, self.corruption)
+            published.append(block)
+        return ForkSet(proposals, published)
 
     def _nonce_safe_subset(self, txs: List[Transaction]) -> List[Transaction]:
         """Drop a random *suffix* of each sender's transactions.

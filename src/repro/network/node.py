@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.chain.block import Block, BlockHeader
 from repro.chain.blockchain import Blockchain
@@ -13,6 +13,8 @@ from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
 from repro.core.pipeline import PipelineConfig, PipelineResult, ValidatorPipeline
 from repro.core.proposer import SealedProposal, seal_block
 from repro.evm.interpreter import EVM, ExecutionContext
+from repro.faults.errors import BYZANTINE_REASONS, FailureReason, ValidationFailure
+from repro.faults.injector import FaultInjector
 from repro.simcore.costmodel import CostModel
 from repro.state.statedb import StateSnapshot
 from repro.txpool.pool import TxPool
@@ -82,10 +84,32 @@ class ReceiveOutcome:
     accepted: List[Block]
     rejected: List[Block]
     new_head: bool
+    #: Blocks refused without validation because their proposer is
+    #: quarantined (also included in ``rejected``).
+    quarantined: List[Block] = field(default_factory=list)
+    #: Typed failure per input block, aligned with the ``blocks`` argument
+    #: (None for accepted blocks).
+    failures: List[Optional[ValidationFailure]] = field(default_factory=list)
+    #: Transactions from rejected/abandoned blocks returned to the node's
+    #: pending pool this batch (0 when the node has no pool attached).
+    restored_txs: int = 0
 
 
 class ValidatorNode:
-    """A validating node: owns a chain, pipelines received blocks (§4.3)."""
+    """A validating node: owns a chain, pipelines received blocks (§4.3).
+
+    Hardening on top of the paper's validator:
+
+    * **Proposer quarantine** — a proposer whose blocks accumulate
+      ``quarantine_threshold`` byzantine failures (lying profiles, bad
+      roots, malformed bodies) is refused outright from then on; its
+      blocks are rejected with ``PROPOSER_QUARANTINED`` without burning
+      validation work.
+    * **Transaction recovery** — when a ``txpool`` is attached, the
+      transactions of rejected/abandoned blocks are returned to it
+      exactly once (fork siblings carrying the same tx do not duplicate
+      it, and txs already committed by an accepted sibling stay out).
+    """
 
     def __init__(
         self,
@@ -95,12 +119,20 @@ class ValidatorNode:
         config: Optional[PipelineConfig] = None,
         evm: Optional[EVM] = None,
         cost_model: Optional[CostModel] = None,
+        injector: Optional[FaultInjector] = None,
+        quarantine_threshold: int = 3,
+        txpool: Optional[TxPool] = None,
     ) -> None:
         self.node_id = node_id
         self.chain = Blockchain(genesis_state)
         self.pipeline = ValidatorPipeline(
-            evm=evm, config=config, cost_model=cost_model
+            evm=evm, config=config, cost_model=cost_model, injector=injector
         )
+        self.quarantine_threshold = quarantine_threshold
+        self.txpool = txpool
+        self.quarantined_proposers: Set[str] = set()
+        self._strikes: Dict[str, int] = {}
+        self._restore_attempted: Set[bytes] = set()
 
     def receive_blocks(
         self,
@@ -113,24 +145,103 @@ class ValidatorNode:
         Parent states are resolved from this node's chain; blocks whose
         parents are unknown are rejected (no orphan pool in this model).
         """
+        admitted: List[Block] = []
+        admitted_arrivals: List[float] = []
+        failure_by_hash: Dict[bytes, Optional[ValidationFailure]] = {}
+        quarantined: List[Block] = []
+        for index, block in enumerate(blocks):
+            proposer = block.header.proposer_id
+            if proposer and proposer in self.quarantined_proposers:
+                quarantined.append(block)
+                failure_by_hash[bytes(block.hash)] = ValidationFailure(
+                    FailureReason.PROPOSER_QUARANTINED,
+                    detail=f"proposer {proposer} quarantined after "
+                    f"{self._strikes.get(proposer, 0)} byzantine blocks",
+                )
+                continue
+            admitted.append(block)
+            admitted_arrivals.append(arrivals[index] if arrivals is not None else 0.0)
+
         parent_states = {}
-        for block in blocks:
+        for block in admitted:
             snapshot = self.chain.state_at(block.header.parent_hash)
             if snapshot is not None:
                 parent_states[block.header.parent_hash] = snapshot
-        result = self.pipeline.process_blocks(blocks, parent_states)
+        result = self.pipeline.process_blocks(
+            admitted,
+            parent_states,
+            arrivals=admitted_arrivals if arrivals is not None else None,
+        )
 
         accepted: List[Block] = []
         rejected: List[Block] = []
         new_head = False
-        for block, validation in zip(blocks, result.results):
+        additions = []
+        for block, validation in zip(admitted, result.results):
             if validation is not None and validation.accepted:
-                if block.hash not in self.chain:
-                    became_head = self.chain.add_block(block, validation.post_state)
-                    new_head = new_head or became_head
+                additions.append((block, validation.post_state))
                 accepted.append(block)
+                failure_by_hash.setdefault(bytes(block.hash), None)
             else:
                 rejected.append(block)
+                failure = validation.failure if validation is not None else None
+                failure_by_hash.setdefault(bytes(block.hash), failure)
+                self._record_strike(block, failure)
+        rejected.extend(quarantined)
+
+        # Parents first: a reordered delivery can place a child before its
+        # in-batch parent, and heights strictly increase along a chain.
+        additions.sort(key=lambda pair: pair[0].header.number)
+        for block, post_state in additions:
+            if block.hash not in self.chain:
+                became_head = self.chain.add_block(block, post_state)
+                new_head = new_head or became_head
+
+        restored = self._restore_transactions(accepted, rejected)
         return ReceiveOutcome(
-            pipeline=result, accepted=accepted, rejected=rejected, new_head=new_head
+            pipeline=result,
+            accepted=accepted,
+            rejected=rejected,
+            new_head=new_head,
+            quarantined=quarantined,
+            failures=[failure_by_hash.get(bytes(b.hash)) for b in blocks],
+            restored_txs=restored,
         )
+
+    # ------------------------------------------------------------------ #
+
+    def _record_strike(
+        self, block: Block, failure: Optional[ValidationFailure]
+    ) -> None:
+        """Count byzantine rejections per proposer; quarantine repeat liars."""
+        if failure is None or failure.reason not in BYZANTINE_REASONS:
+            return
+        proposer = block.header.proposer_id
+        if not proposer or self.quarantine_threshold <= 0:
+            return
+        self._strikes[proposer] = self._strikes.get(proposer, 0) + 1
+        if self._strikes[proposer] >= self.quarantine_threshold:
+            self.quarantined_proposers.add(proposer)
+
+    def _restore_transactions(
+        self, accepted: Sequence[Block], rejected: Sequence[Block]
+    ) -> int:
+        """Return rejected blocks' transactions to the pool, exactly once.
+
+        A tx committed by an accepted sibling (or already on the canonical
+        chain) stays out; a tx carried by several rejected siblings is
+        re-added at most once, and never twice across batches.
+        """
+        if self.txpool is None or not rejected:
+            return 0
+        committed = {bytes(tx.hash) for b in accepted for tx in b.transactions}
+        restored = 0
+        for block in rejected:
+            for tx in block.transactions:
+                key = bytes(tx.hash)
+                if key in committed or key in self._restore_attempted:
+                    continue
+                self._restore_attempted.add(key)
+                if self.txpool.restore(tx):
+                    restored += 1
+        return restored

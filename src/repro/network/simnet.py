@@ -7,21 +7,27 @@ and the network's chains stay in consensus.  Collected statistics give the
 system-level view the paper motivates with — execution-layer TPS under
 serial vs parallel validation, uncle rates, validator occupancy.
 
-This is a logical-round model (no message latency): dissemination details
-are out of the paper's scope, and the interesting contention — multiple
-same-height blocks hitting each validator — is produced directly by the
-fork probability.
+This is a logical-round model (no message latency) by default:
+dissemination details are out of the paper's scope, and the interesting
+contention — multiple same-height blocks hitting each validator — is
+produced directly by the fork probability.  Passing a ``FaultConfig``
+replaces the perfect channel with a :class:`FaultyChannel` per validator
+(drop, duplication, reordering, bounded delay, with guaranteed
+retransmission of drops the following round), and
+``byzantine_proposers`` makes chosen proposers publish corrupted blocks —
+the adversarial workload the hardened validator stack is built for.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import throughput_tps
 from repro.core.occ_wsi import ProposerConfig
 from repro.core.pipeline import PipelineConfig
+from repro.faults.injector import FaultConfig, FaultInjector, FaultyChannel
 from repro.network.node import ProposerNode, ValidatorNode
 from repro.workload.generator import BlockWorkloadGenerator, WorkloadConfig
 from repro.workload.universe import Universe
@@ -39,6 +45,12 @@ class NetworkConfig:
     proposer_lanes: int = 16
     validator_lanes: int = 16
     seed: int = 101
+    #: indices into the proposer set whose sealed blocks get corrupted
+    byzantine_proposers: tuple = ()
+    #: which corruption a byzantine proposer applies (see CORRUPTION_KINDS)
+    corruption: str = "profile_write_value"
+    #: byzantine strikes before a validator refuses a proposer outright
+    quarantine_threshold: int = 3
 
 
 @dataclass
@@ -61,6 +73,12 @@ class NetworkResult:
     final_root_hex: str
     uncle_count: int
     chains_agree: bool
+    #: typed rejection counts seen by validator 0 (reason value -> count)
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+    #: summed FaultyChannel counters (None on the perfect channel)
+    channel_counters: Optional[Dict[str, int]] = None
+    #: proposers validator 0 has quarantined by the end of the run
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def total_txs(self) -> int:
@@ -89,9 +107,12 @@ class NetworkSimulation:
         *,
         config: Optional[NetworkConfig] = None,
         workload: Optional[WorkloadConfig] = None,
+        faults: Optional[FaultConfig] = None,
     ) -> None:
         self.universe = universe
         self.config = config or NetworkConfig()
+        self.faults = faults
+        self.injector = FaultInjector(faults or FaultConfig(seed=self.config.seed))
         self.rng = random.Random(self.config.seed)
         self.generator = BlockWorkloadGenerator(
             universe, workload or WorkloadConfig(seed=self.config.seed)
@@ -103,22 +124,34 @@ class NetworkSimulation:
             )
             for i in range(self.config.n_proposers)
         ]
+        self.byzantine_ids = {
+            self.proposers[i].node_id
+            for i in self.config.byzantine_proposers
+            if 0 <= i < len(self.proposers)
+        }
         self.validators = [
             ValidatorNode(
                 f"validator-{i}",
                 universe.genesis,
                 config=PipelineConfig(worker_lanes=self.config.validator_lanes),
+                quarantine_threshold=self.config.quarantine_threshold,
             )
             for i in range(self.config.n_validators)
         ]
+        self.channels: Optional[Dict[str, FaultyChannel]] = (
+            {v.node_id: FaultyChannel(faults, v.node_id) for v in self.validators}
+            if faults is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> NetworkResult:
         cfg = self.config
         records: List[RoundRecord] = []
+        failure_counts: Dict[str, int] = {}
 
-        for _ in range(cfg.rounds):
+        for round_no in range(cfg.rounds):
             # all nodes share the canonical view of validator 0
             reference = self.validators[0].chain
             parent = reference.head
@@ -138,25 +171,39 @@ class NetworkSimulation:
                 view = list(txs)
                 self.rng.shuffle(view)
                 view.sort(key=lambda t: t.nonce)
-                blocks.append(
-                    node.build_block(parent.header, parent_state, view).block
-                )
+                block = node.build_block(parent.header, parent_state, view).block
+                if node.node_id in self.byzantine_ids:
+                    block = self.injector.corrupt_block(block, cfg.corruption)
+                blocks.append(block)
 
             speedups = []
             makespans = []
             serials = []
             accepted_counts = []
             for validator in self.validators:
-                outcome = validator.receive_blocks(blocks)
+                outcome = self._deliver(validator, round_no, blocks)
                 accepted_counts.append(len(outcome.accepted))
                 speedups.append(outcome.pipeline.speedup)
                 makespans.append(outcome.pipeline.makespan)
                 serials.append(outcome.pipeline.serial_time)
+                if validator is self.validators[0]:
+                    self._count_failures(failure_counts, outcome)
 
-            if len(set(accepted_counts)) != 1 or accepted_counts[0] != len(blocks):
-                raise AssertionError(
-                    f"validators disagree on acceptance: {accepted_counts}"
+            # On the perfect channel every validator sees the same batch, so
+            # acceptance must be unanimous; byzantine blocks are rejected by
+            # everyone (the corruption is deterministic), honest ones by
+            # no one.  Under channel faults delivery differs per validator
+            # within a round, so the invariant moves to end-of-run agreement.
+            if self.channels is None:
+                honest = sum(
+                    1 for b in blocks
+                    if b.header.proposer_id not in self.byzantine_ids
                 )
+                expected = honest if self.byzantine_ids else len(blocks)
+                if len(set(accepted_counts)) != 1 or accepted_counts[0] > expected:
+                    raise AssertionError(
+                        f"validators disagree on acceptance: {accepted_counts}"
+                    )
 
             records.append(
                 RoundRecord(
@@ -170,6 +217,8 @@ class NetworkSimulation:
                 )
             )
 
+        channel_counters = self._drain_channels(failure_counts)
+
         heads = {v.chain.head.hash for v in self.validators}
         roots = {v.chain.head_state.state_root() for v in self.validators}
         reference = self.validators[0].chain
@@ -179,4 +228,45 @@ class NetworkSimulation:
             final_root_hex=reference.head_state.state_root().hex(),
             uncle_count=reference.uncle_count(),
             chains_agree=len(heads) == 1 and len(roots) == 1,
+            failure_counts=failure_counts,
+            channel_counters=channel_counters,
+            quarantined=sorted(self.validators[0].quarantined_proposers),
         )
+
+    # ------------------------------------------------------------------ #
+
+    def _deliver(self, validator, round_no: int, blocks):
+        """Hand a round's blocks to one validator, through its channel."""
+        if self.channels is None:
+            return validator.receive_blocks(blocks)
+        deliveries = self.channels[validator.node_id].deliver(round_no, blocks)
+        return validator.receive_blocks(
+            [block for block, _ in deliveries],
+            arrivals=[arrival for _, arrival in deliveries],
+        )
+
+    def _drain_channels(self, failure_counts) -> Optional[Dict[str, int]]:
+        """Deliver every backlogged retransmission, then sum channel stats."""
+        if self.channels is None:
+            return None
+        for validator in self.validators:
+            leftovers = self.channels[validator.node_id].flush()
+            if leftovers:
+                outcome = validator.receive_blocks(
+                    [block for block, _ in leftovers],
+                    arrivals=[arrival for _, arrival in leftovers],
+                )
+                if validator is self.validators[0]:
+                    self._count_failures(failure_counts, outcome)
+        totals: Dict[str, int] = {}
+        for channel in self.channels.values():
+            for key, value in channel.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    @staticmethod
+    def _count_failures(counts: Dict[str, int], outcome) -> None:
+        for failure in outcome.failures:
+            if failure is not None:
+                key = failure.reason.value
+                counts[key] = counts.get(key, 0) + 1

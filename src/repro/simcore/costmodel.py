@@ -75,6 +75,11 @@ class CostModel:
     commit_sync_per_lane: float = 0.14
     #: Cleanup cost charged to a lane when its transaction aborts.
     abort_overhead: float = 0.6
+    #: Base backoff before re-attempting a block after a transient
+    #: :class:`~repro.faults.errors.WorkerFault` (doubles per retry, so a
+    #: block that retries k times is delayed Σ backoff·2^i — deterministic,
+    #: keeping Fig-9-style timing meaningful under injected faults).
+    retry_backoff: float = 40.0
     #: Validator preparation phase: dependency-graph + schedule, per tx.
     schedule_per_tx: float = 0.12
     #: Applier work per transaction (rw-set check + world-state apply).

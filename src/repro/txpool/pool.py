@@ -201,6 +201,44 @@ class TxPool:
         self._size -= len(parked)
         self._ready_nonce.pop(sender, None)
 
+    # ------------------------------------------------------------------ #
+
+    def contains(self, tx_hash) -> bool:
+        """Whether a transaction with this hash is queued or in flight."""
+        if any(t.hash == tx_hash for t in self._in_flight.values()):
+            return True
+        for parked in self._parked.values():
+            if any(t.hash == tx_hash for t in parked.values()):
+                return True
+        return any(
+            t.hash == tx_hash and t.hash not in self._cancelled
+            for _, _, t in self._ready
+        )
+
+    def restore(self, tx: Transaction) -> bool:
+        """Return a transaction from a rejected/abandoned block to the pool.
+
+        Exactly-once semantics: a transaction already queued or in flight
+        (e.g. the same tx carried by two fork siblings), already packed
+        (its sender's nonce moved past it), or unable to re-enter (stale
+        nonce, underpriced duplicate) is skipped.  Returns whether the
+        transaction was actually re-added.
+        """
+        if self.contains(tx.hash):
+            return False
+        ready = self._ready_nonce.get(tx.sender)
+        if ready is not None and tx.nonce < ready:
+            return False  # a block carrying this nonce already committed
+        try:
+            self.add(tx)
+        except ValueError:
+            return False
+        return True
+
+    def restore_many(self, txs) -> int:
+        """Restore a batch; returns how many actually re-entered the pool."""
+        return sum(1 for tx in txs if self.restore(tx))
+
     def in_flight_count(self) -> int:
         return len(self._in_flight)
 

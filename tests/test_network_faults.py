@@ -1,0 +1,168 @@
+"""Network-level fault injection: byzantine proposers, lossy channels.
+
+The headline robustness claims, end to end: honest validators stay in
+consensus while byzantine siblings are rejected (and their proposers
+quarantined), lossy channels only delay agreement (retransmission makes
+delivery eventual), and every run replays bit-identically from its seed.
+"""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.faults.scenarios import build_env
+from repro.network.dissemination import ForkSimulator
+from repro.network.node import ValidatorNode
+from repro.network.simnet import NetworkConfig, NetworkSimulation
+from repro.txpool.pool import TxPool
+from repro.workload.universe import UniverseConfig, build_universe
+
+
+def small_world(seed=5):
+    return build_universe(
+        UniverseConfig(
+            n_eoas=120,
+            n_tokens=4,
+            n_amms=2,
+            n_nfts=1,
+            n_airdrops=1,
+            seed=seed,
+        )
+    )
+
+
+class TestByzantineNetwork:
+    def test_byzantine_blocks_rejected_chains_agree(self):
+        cfg = NetworkConfig(
+            rounds=4,
+            byzantine_proposers=(1,),
+            fork_probability=0.9,
+            quarantine_threshold=2,
+            seed=101,
+        )
+        result = NetworkSimulation(small_world(), config=cfg).run()
+        assert result.chains_agree
+        assert sum(result.failure_counts.values()) >= 1
+        # every recorded failure is a byzantine classification or the
+        # quarantine that follows it
+        assert set(result.failure_counts) <= {
+            "profile_write_mismatch",
+            "proposer_quarantined",
+        }
+
+    def test_repeat_liar_gets_quarantined(self):
+        cfg = NetworkConfig(
+            rounds=8,
+            n_proposers=2,
+            byzantine_proposers=(0,),
+            fork_probability=1.0,
+            quarantine_threshold=2,
+            seed=7,
+        )
+        result = NetworkSimulation(small_world(), config=cfg).run()
+        assert result.quarantined == ["proposer-0"]
+
+    def test_honest_network_unchanged(self):
+        """No faults configured: the hardened stack is invisible."""
+        cfg = NetworkConfig(rounds=3, seed=101)
+        result = NetworkSimulation(small_world(), config=cfg).run()
+        assert result.chains_agree
+        assert result.failure_counts == {}
+        assert result.channel_counters is None
+        assert result.quarantined == []
+        assert result.final_height == 3
+
+
+class TestFaultyChannel:
+    FAULTS = FaultConfig(
+        seed=9,
+        drop_rate=0.3,
+        duplicate_rate=0.2,
+        reorder_rate=0.5,
+        max_delay_us=500.0,
+    )
+
+    def test_lossy_channel_reaches_agreement(self):
+        cfg = NetworkConfig(rounds=5, fork_probability=0.5, seed=101)
+        result = NetworkSimulation(
+            small_world(), config=cfg, faults=self.FAULTS
+        ).run()
+        # drops only delay blocks (retransmission + end-of-run flush), so
+        # every validator converges on the same head and root
+        assert result.chains_agree
+        counters = result.channel_counters
+        assert counters["dropped"] >= 1
+        assert counters["delivered"] >= cfg.rounds
+
+    def test_lossy_run_is_deterministic(self):
+        cfg = NetworkConfig(rounds=5, fork_probability=0.5, seed=101)
+
+        def run():
+            r = NetworkSimulation(
+                small_world(), config=cfg, faults=self.FAULTS
+            ).run()
+            return (r.final_root_hex, r.final_height, r.channel_counters)
+
+        assert run() == run()
+
+
+class TestForkSimulatorByzantine:
+    def test_byzantine_sibling_is_corrupted_copy(self):
+        env = build_env(0)
+        sim = ForkSimulator(
+            2,
+            seed=3,
+            injector=env.injector,
+            byzantine=(1,),
+            corruption="state_root",
+        )
+        txs = env.generator.generate_block_txs()
+        forks = sim.propose_forks(env.parent_header, env.parent_state, txs)
+        honest_pub, byz_pub = forks.blocks
+        assert honest_pub is forks.proposals[0].block
+        assert byz_pub is not forks.proposals[1].block
+        assert byz_pub.header.state_root != forks.proposals[1].block.header.state_root
+
+    def test_byzantine_requires_injector(self):
+        with pytest.raises(ValueError, match="FaultInjector"):
+            ForkSimulator(2, byzantine=(0,))
+
+
+class TestTxRecovery:
+    def test_rejected_block_txs_return_to_pool_once(self):
+        env = build_env(0)
+        pool = TxPool()
+        node = ValidatorNode(
+            "validator-0",
+            env.universe.genesis,
+            config=PipelineConfig(worker_lanes=4),
+            txpool=pool,
+        )
+        bad = env.injector.corrupt_block(env.honest.block, "state_root")
+        outcome = node.receive_blocks([bad])
+        assert not outcome.accepted
+        assert outcome.restored_txs == len(bad.transactions)
+        assert len(pool) == len(bad.transactions)
+        # redelivery of the same rejected block restores nothing new
+        again = node.receive_blocks([bad])
+        assert again.restored_txs == 0
+        assert len(pool) == len(bad.transactions)
+
+    def test_committed_sibling_keeps_txs_out(self):
+        """Txs committed by the accepted sibling are not restored from the
+        rejected one."""
+        env = build_env(0)
+        pool = TxPool()
+        node = ValidatorNode(
+            "validator-0",
+            env.universe.genesis,
+            config=PipelineConfig(worker_lanes=4),
+            txpool=pool,
+        )
+        honest = env.honest.block
+        bad = env.injector.corrupt_block(honest, "state_root")
+        outcome = node.receive_blocks([honest, bad])
+        assert [b.hash for b in outcome.accepted] == [honest.hash]
+        # the rejected sibling carries exactly the committed tx set
+        assert outcome.restored_txs == 0
+        assert len(pool) == 0

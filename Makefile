@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults bench examples clean
+.PHONY: install test test-fast test-faults bench bench-json trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -19,6 +19,19 @@ test-faults:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# machine-readable baselines: runs the JSON-emitting benchmarks and leaves
+# BENCH_<name>.json files in benchmarks/results (or $$REPRO_RESULTS_DIR)
+bench-json:
+	$(PYTHON) -m pytest benchmarks/bench_fig6_proposer.py \
+		benchmarks/bench_fig7a_scalability.py \
+		benchmarks/bench_fig9_multiblock.py \
+		benchmarks/bench_obs_overhead.py -q
+
+trace-demo:
+	$(PYTHON) -m repro --txs-per-block 60 trace --scenario round --rounds 2 \
+		--out trace.json
+	$(PYTHON) examples/tracing_demo.py
 
 examples:
 	@for ex in examples/*.py; do \

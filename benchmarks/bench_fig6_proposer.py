@@ -10,7 +10,7 @@ is geth-style serial block building over the identical pending set.
 
 import pytest
 
-from benchmarks.conftest import THREAD_SWEEP, emit
+from benchmarks.conftest import THREAD_SWEEP, emit, emit_json
 from repro.analysis.metrics import SweepPoint, scaling_sweep_table
 from repro.analysis.report import format_histogram, format_table
 from repro.core.baselines import SerialExecutor
@@ -70,6 +70,16 @@ def test_fig6_proposer_scalability(bench_chain, benchmark, capsys):
         title="Fig. 6 histogram — per-block speedup distribution @16 threads",
     )
     emit(capsys, "fig6_proposer", report)
+    emit_json(
+        "fig6_proposer",
+        {
+            "by_threads": {
+                str(int(p.x)): {"mean_speedup": p.summary.mean} for p in points
+            },
+            "accelerated_fraction_16": points[-1].summary.accelerated_fraction,
+        },
+        config={"blocks": len(bench_chain), "thread_sweep": list(THREAD_SWEEP)},
+    )
 
     # shape assertions: monotone scaling (within 5% sampling noise — at
     # high lane counts abort pressure can sag individual samples), ~paper

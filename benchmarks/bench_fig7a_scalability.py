@@ -7,7 +7,7 @@ past ~6 threads (hotspot critical path); the two-phase OCC comparator
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis.metrics import SweepPoint
 from repro.analysis.report import format_table
 from repro.core.baselines import TwoPhaseOCCExecutor
@@ -52,6 +52,19 @@ def test_fig7a_validator_scalability(bench_chain, benchmark, capsys):
             rows,
             title="Fig. 7(a) — single-block validator speedup vs threads (BlockPilot vs two-phase OCC)",
         ),
+    )
+    emit_json(
+        "fig7a_scalability",
+        {
+            "by_threads": {
+                str(row["threads"]): {
+                    "blockpilot_speedup": row["blockpilot"],
+                    "occ_2phase_speedup": row["occ_2phase"],
+                }
+                for row in rows
+            },
+        },
+        config={"blocks": len(bench_chain), "thread_sweep": list(SWEEP)},
     )
 
     # shape: monotone-ish rise with a knee (≤5% gain past 8 threads),

@@ -12,7 +12,7 @@ sibling blocks.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.analysis.report import format_table
 from repro.core.pipeline import PipelineConfig, ValidatorPipeline
 from repro.network.dissemination import ForkSimulator
@@ -53,6 +53,21 @@ def test_fig9_multiblock_pipeline(bench_universe, bench_chain, benchmark, capsys
             rows,
             title="Fig. 9 — pipeline speedup vs concurrent same-height blocks (16 worker lanes)",
         ),
+    )
+    emit_json(
+        "fig9_multiblock",
+        {
+            "by_blocks": {
+                str(row["blocks"]): {
+                    "speedup": row["speedup"],
+                    "makespan_us": row["makespan_us"],
+                    "ctx_switches": row["ctx_switches"],
+                }
+                for row in rows
+            },
+            "peak_speedup": max(speedups.values()),
+        },
+        config={"block_counts": list(BLOCK_COUNTS), "worker_lanes": 16},
     )
 
     # shape: rises to a peak in the 4-6 block region, then declines at 8

@@ -1,0 +1,191 @@
+"""Observability overhead and export-contract benchmarks.
+
+Three claims behind the ``repro.obs`` layer:
+
+* **Off by default, free by default** — the production path runs with
+  :data:`~repro.obs.tracer.NULL_TRACER` and no metrics registry, so the
+  instrumentation reduces to boolean guards.  The guard microbenchmark
+  bounds their cost below 3% of a block's validation wall time, and the
+  traced run's *simulated* timing is bit-identical to the untraced run
+  (tracing re-walks timing separately; it never perturbs the model).
+* **Deterministic export** — same seed, same trace: the Chrome-trace JSON
+  of two identical traced runs is byte-identical and carries the
+  ``ph``/``ts``/``pid``/``tid``/``name`` keys Perfetto needs.
+* **Baselines round-trip** — numbers written with ``write_baseline`` load
+  back and self-compare with zero regressions.
+"""
+
+import statistics
+import time
+
+from benchmarks.conftest import emit, emit_json
+from repro.analysis.report import format_table
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.obs import (
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_json,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+
+REPEATS = 5
+GUARD_ITERATIONS = 200_000
+#: generous upper bound on NullTracer/metrics guard evaluations per tx
+#: (occ-wsi loop + validator phases + scheduler are each a handful)
+GUARDS_PER_TX = 32
+
+
+def _median_wall(validator, entries):
+    """Median wall-clock seconds to validate the chain prefix."""
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for entry in entries:
+            result = validator.validate_block(entry.block, entry.parent_state)
+            assert result.accepted, result.reason
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_null_tracer_overhead(bench_chain, capsys):
+    """Default NullTracer instrumentation must cost <3% wall time."""
+    entries = bench_chain[:4]
+    untraced = ParallelValidator(config=ValidatorConfig(lanes=16))
+
+    # Measure the primitive the production path actually pays: one
+    # ``tracer.enabled`` / ``metrics is not None`` guard evaluation.
+    tracer = NULL_TRACER
+    metrics = None
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERATIONS):
+        if tracer.enabled:
+            raise AssertionError("NullTracer must be disabled")
+        if metrics is not None:
+            raise AssertionError
+    guard_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERATIONS):
+        pass
+    empty_wall = time.perf_counter() - start
+    guard_cost = max(guard_wall - empty_wall, 0.0) / GUARD_ITERATIONS
+
+    _median_wall(untraced, entries)  # warm up the interpreter path
+    base = _median_wall(untraced, entries)
+    txs = sum(len(e.block) for e in entries)
+    guard_share = (guard_cost * GUARDS_PER_TX * txs) / base
+
+    traced = ParallelValidator(
+        config=ValidatorConfig(lanes=16),
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+    )
+    with_trace = _median_wall(traced, entries)
+    trace_cost = with_trace / base - 1.0
+
+    emit(
+        capsys,
+        "obs_overhead",
+        format_table(
+            [
+                {
+                    "config": "NullTracer (default)",
+                    "median_s": round(base, 4),
+                    "overhead": f"{guard_share:+.2%} (guard bound)",
+                },
+                {
+                    "config": "Tracer + metrics",
+                    "median_s": round(with_trace, 4),
+                    "overhead": f"{trace_cost:+.1%}",
+                },
+            ],
+            title="Observability overhead (4 blocks, 16 lanes)",
+        ),
+    )
+    assert guard_share < 0.03, (
+        f"NullTracer guards cost {guard_share:.2%} of validation wall time"
+    )
+
+
+def test_tracing_never_perturbs_simulated_timing(bench_chain):
+    """Traced and untraced runs agree on every simulated phase boundary."""
+    entries = bench_chain[:4]
+    untraced = ParallelValidator(config=ValidatorConfig(lanes=16))
+    traced = ParallelValidator(
+        config=ValidatorConfig(lanes=16),
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+    )
+    for entry in entries:
+        a = untraced.validate_block(entry.block, entry.parent_state)
+        b = traced.validate_block(entry.block, entry.parent_state)
+        assert a.phases.prep_end == b.phases.prep_end
+        assert a.phases.exec_end == b.phases.exec_end
+        assert a.phases.validate_end == b.phases.validate_end
+        assert a.phases.commit_end == b.phases.commit_end
+        assert a.post_state.state_root() == b.post_state.state_root()
+
+
+def test_traced_run_exports_replayable_chrome_json(bench_chain):
+    """Same inputs, same trace — the export is byte-identical on replay."""
+    entries = bench_chain[:4]
+
+    def run():
+        tracer = Tracer()
+        validator = ParallelValidator(
+            config=ValidatorConfig(lanes=16),
+            tracer=tracer,
+            metrics=MetricsRegistry(),
+        )
+        for entry in entries:
+            validator.validate_block(entry.block, entry.parent_state)
+        return chrome_trace_json(tracer)
+
+    first, second = run(), run()
+    assert first == second, "same-seed traced runs must export identical JSON"
+
+    import json
+
+    events = json.loads(first)["traceEvents"]
+    assert events, "traced run produced no events"
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event, f"trace event missing {key}: {event}"
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_baseline_roundtrip_zero_regressions(bench_chain, tmp_path):
+    """BENCH_*.json written from a real run self-compares clean."""
+    entries = bench_chain[:4]
+    metrics = MetricsRegistry()
+    validator = ParallelValidator(
+        config=ValidatorConfig(lanes=16), metrics=metrics
+    )
+    speedups = [
+        validator.validate_block(e.block, e.parent_state).speedup
+        for e in entries
+    ]
+    path = write_baseline(
+        "obs_roundtrip",
+        {
+            "mean_speedup": statistics.mean(speedups),
+            "blocks": len(entries),
+        },
+        metrics=metrics.snapshot(),
+        config={"lanes": 16},
+        directory=str(tmp_path),
+    )
+    document = load_baseline(path)
+    assert document["name"] == "obs_roundtrip"
+    result = compare(path, path)
+    assert result.ok and not result.regressions
+    assert result.improvements == []
+
+    # and the shared conftest helper lands one next to the text reports
+    emit_json(
+        "obs_overhead",
+        {"mean_speedup": statistics.mean(speedups)},
+        config={"lanes": 16, "blocks": len(entries)},
+    )

@@ -92,3 +92,16 @@ def emit(capsys, name: str, content: str) -> None:
     with capsys.disabled():
         print()
         print(content, end="")
+
+
+def emit_json(name: str, headline: dict, *, metrics=None, config=None) -> str:
+    """Persist machine-readable benchmark numbers as ``BENCH_<name>.json``.
+
+    Lands next to the text reports (``benchmarks/results`` or
+    ``$REPRO_RESULTS_DIR``); ``repro.obs.baseline.compare`` diffs two such
+    files and flags regressions, which is what ``make bench-json`` + the CI
+    artifact upload are for.  Returns the path written.
+    """
+    from repro.obs.baseline import write_baseline
+
+    return write_baseline(name, headline, metrics=metrics, config=config)

@@ -7,6 +7,7 @@ Usage::
     python -m repro validator --lanes 2 4 8 16 # Fig. 7(a)-style sweep
     python -m repro pipeline --blocks 1 2 4 8  # Fig. 9-style sweep
     python -m repro hotspot                    # Fig. 8-style sweep
+    python -m repro trace --out trace.json     # traced run -> Perfetto JSON
 
 All subcommands run on a freshly generated universe; ``--seed``,
 ``--txs-per-block`` and ``--blocks-per-point`` control workload size.
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from statistics import mean
 
@@ -184,6 +186,58 @@ def cmd_hotspot(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run a fully traced scenario and export Chrome-trace + flame files."""
+    from repro.obs import MetricsRegistry, Tracer, flame_summary, write_chrome_trace
+
+    universe, generator, chain = _setup(args)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+
+    if args.scenario == "network":
+        from repro.network.simnet import NetworkConfig, NetworkSimulation
+
+        sim = NetworkSimulation(
+            universe,
+            config=NetworkConfig(rounds=args.rounds, seed=args.seed),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        sim.run()
+    else:  # "round": proposer -> validator round trips on one chain
+        proposer = ProposerNode("proposer", tracer=tracer, metrics=metrics)
+        validator = ValidatorNode(
+            "validator", universe.genesis, tracer=tracer, metrics=metrics
+        )
+        parent_header, parent_state = chain.genesis.header, universe.genesis
+        for _ in range(args.rounds):
+            txs = generator.generate_block_txs()
+            sealed = proposer.build_block(parent_header, parent_state, txs)
+            outcome = validator.receive_blocks([sealed.block])
+            if not outcome.accepted:
+                break
+            head = validator.chain.head
+            parent_header = head.header
+            parent_state = validator.chain.state_at(head.hash)
+
+    trace_path = write_chrome_trace(tracer, args.out, indent=2)
+    flame = flame_summary(tracer, min_share=args.min_share)
+    flame_path = os.path.splitext(args.out)[0] + "_flame.txt"
+    with open(flame_path, "w", encoding="utf-8") as fh:
+        fh.write(flame)
+
+    print(flame, end="")
+    snapshot = metrics.snapshot()
+    print(
+        f"metrics: {len(snapshot['counters'])} counters, "
+        f"{len(snapshot['gauges'])} gauges, "
+        f"{len(snapshot['histograms'])} histograms"
+    )
+    print(f"wrote {trace_path} ({len(tracer)} spans) — open in https://ui.perfetto.dev")
+    print(f"wrote {flame_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -202,6 +256,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pipeline", help="Fig. 9-style block-count sweep")
     p.add_argument("--blocks", type=int, nargs="+", default=[1, 2, 4, 8])
     sub.add_parser("hotspot", help="Fig. 8-style intensity sweep")
+    p = sub.add_parser("trace", help="traced run -> Chrome-trace JSON + flame")
+    p.add_argument(
+        "--scenario",
+        choices=["round", "network"],
+        default="round",
+        help="round: proposer/validator round trips; network: full simnet",
+    )
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--out", default="trace.json")
+    p.add_argument(
+        "--min-share",
+        type=float,
+        default=0.0,
+        help="prune flame lines below this fraction of total time",
+    )
     return parser
 
 
@@ -211,6 +280,7 @@ COMMANDS = {
     "validator": cmd_validator,
     "pipeline": cmd_pipeline,
     "hotspot": cmd_hotspot,
+    "trace": cmd_trace,
 }
 
 

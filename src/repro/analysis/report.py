@@ -10,7 +10,13 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_histogram", "format_series", "write_report"]
+__all__ = [
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "format_failures",
+    "write_report",
+]
 
 
 def format_table(rows: Sequence[Mapping], title: Optional[str] = None) -> str:
@@ -63,6 +69,35 @@ def format_series(
     """Two-column series (the data behind a line plot)."""
     rows = [{x_label: x, y_label: round(y, 3)} for x, y in zip(xs, ys)]
     return format_table(rows, title=title)
+
+
+def format_failures(stats, title: Optional[str] = None) -> str:
+    """Render a run's typed failure counters as a table section.
+
+    ``stats`` is a :class:`~repro.simcore.stats.RunStats` (whose
+    ``failures`` dict maps ``FailureReason.value`` to a rejection count)
+    or any mapping of reason -> count.  Robustness counters riding on the
+    stats object (worker faults, retries, serial fallbacks) are appended
+    so a report shows degradation next to outright rejection.
+    """
+    failures = stats if isinstance(stats, Mapping) else stats.failures
+    total = sum(failures.values())
+    rows: List[Mapping] = [
+        {"reason": reason, "count": count, "share": f"{count / total:.0%}"}
+        for reason, count in sorted(failures.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    rendered = format_table(rows, title=title or "failures by reason")
+    if isinstance(stats, Mapping):
+        return rendered
+    extras = [
+        ("worker_faults", stats.worker_faults),
+        ("exec_retries", stats.exec_retries),
+        ("serial_fallbacks", stats.serial_fallbacks),
+    ]
+    lines = [f"{name}: {value}" for name, value in extras if value]
+    if lines:
+        rendered += "\n".join(lines) + "\n"
+    return rendered
 
 
 def write_report(name: str, content: str, directory: Optional[str] = None) -> str:

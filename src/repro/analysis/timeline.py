@@ -8,7 +8,7 @@ a lane, idle tails, context-switch gaps).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.simcore.lanes import LaneGroup
 
@@ -20,30 +20,50 @@ def render_timeline(
     *,
     width: int = 72,
     label_of=None,
+    tracer=None,
 ) -> str:
     """Render each lane's recorded busy intervals as a text bar.
 
-    ``#`` marks busy time, ``.`` idle; when ``label_of`` is given it maps
-    a task tag to a single character used instead of ``#`` (labels longer
-    than a cell are truncated to their first character).
+    ``#`` marks busy time, ``.`` idle.  Two sources can paint the bars:
+
+    * the lane's own ``record_trace`` intervals (default); ``label_of``
+      maps a task tag to a single character used instead of ``#`` (labels
+      longer than a cell are truncated to their first character);
+    * a :class:`repro.obs.tracer.Tracer` the group emitted spans to
+      (``LaneGroup(..., tracer=...)``), in which case each busy cell is
+      labelled by the first character of the span's *name*.
+
+    Both sources describe the same schedule, so the bars they paint are
+    identical — only the labels differ.
     """
-    if not group.record_trace:
-        raise ValueError("LaneGroup must be built with record_trace=True")
+    if tracer is None and not group.record_trace:
+        raise ValueError(
+            "LaneGroup must be built with record_trace=True (or pass tracer=)"
+        )
     span = group.makespan
     lines: List[str] = []
     if span <= 0:
         return "(empty timeline)\n"
     scale = width / span
+    spans_by_id = {s.id: s for s in tracer.spans} if tracer is not None else {}
 
     for lane in group.lanes:
+        if tracer is None:
+            intervals = [
+                (start, end, str(label_of(tag))[:1] if label_of and tag is not None else "#")
+                for start, end, tag in lane.trace
+            ]
+        else:
+            intervals = [
+                (s.start, s.end, s.name[:1] or "#")
+                for s in (spans_by_id.get(i) for i in lane.span_ids)
+                if s is not None and s.end is not None
+            ]
         cells = ["."] * width
-        for start, end, tag in lane.trace:
+        for start, end, label in intervals:
             a = min(width - 1, int(start * scale))
             b = min(width, max(a + 1, int(end * scale)))
-            ch = "#"
-            if label_of is not None:
-                label = str(label_of(tag)) if tag is not None else "#"
-                ch = label[0] if label else "#"
+            ch = label or "#"
             for i in range(a, b):
                 cells[i] = ch
         busy_pct = lane.busy_time / span if span else 0.0

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.simcore.costmodel import CostModel
 from repro.simcore.events import EventQueue
 from repro.simcore.stats import RunStats
@@ -38,6 +40,11 @@ from repro.txpool.pool import TxPool
 from repro.txpool.transaction import Transaction
 
 __all__ = ["ProposerConfig", "CommittedTx", "ProposalResult", "OCCWSIProposer", "materialize_store"]
+
+#: Fixed buckets for the txpool-depth-over-time histogram (clamped tails).
+_DEPTH_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1 << 30)
+#: Fixed buckets for per-transaction abort/retry counts.
+_RETRY_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32, 1 << 20)
 
 
 @dataclass(frozen=True)
@@ -121,10 +128,16 @@ class OCCWSIProposer:
         evm: Optional[EVM] = None,
         config: Optional[ProposerConfig] = None,
         cost_model: Optional[CostModel] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ProposerConfig()
         self.cost_model = cost_model or CostModel()
+        #: Span sink on the simulated clock; the NullTracer default keeps
+        #: the hot loop at one hoisted flag check per run.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def propose(
         self,
@@ -135,6 +148,14 @@ class OCCWSIProposer:
         """Run parallel block building until the gas limit or pool exhaustion."""
         cfg = self.config
         model = self.cost_model
+        tracer = self.tracer
+        trace_on = tracer.enabled  # hoisted: the hot loop pays one check
+        metrics = self.metrics
+        depth_hist = (
+            metrics.histogram("proposer.txpool_depth", _DEPTH_EDGES)
+            if metrics is not None
+            else None
+        )
 
         store = MultiVersionStore(base)
         reserve: Dict[StateKey, int] = {}  # Algorithm 1's Table
@@ -167,6 +188,12 @@ class OCCWSIProposer:
                 idle.discard(lane)
                 queue.push(now, ("free", lane))
 
+        # one "propose" span parents every per-tx span of this run; opened
+        # manually so the event loop below keeps its indentation
+        propose_scope = tracer.scope("propose", 0.0, lanes=cfg.lanes) if trace_on else None
+        if propose_scope is not None:
+            propose_scope.__enter__()
+
         for event in queue.drain():
             now = event.time
             payload = event.payload
@@ -177,6 +204,8 @@ class OCCWSIProposer:
                 if block_full():
                     idle.add(lane)
                     continue
+                if depth_hist is not None:
+                    depth_hist.observe(len(pool))
                 tx = pool.pop_best()
                 if tx is None:
                     idle.add(lane)
@@ -189,11 +218,22 @@ class OCCWSIProposer:
                 except InvalidTransaction:
                     pool.drop(tx)
                     invalid_dropped += 1
+                    if trace_on:
+                        tracer.instant("invalid_tx", now, lane=lane, tx=tx.hash.hex()[:8])
                     queue.push(now + model.tx_overhead, ("free", lane))
                     continue
                 executions += 1
                 cost = model.tx_cost(result.trace)
                 total_work += cost
+                if trace_on:
+                    tracer.record(
+                        "execute",
+                        now,
+                        now + cost,
+                        lane=lane,
+                        tx=tx.hash.hex()[:8],
+                        snapshot=snapshot_version,
+                    )
                 queue.push(
                     now + cost,
                     ("finish", lane, tx, view, rec, result, snapshot_version),
@@ -217,6 +257,15 @@ class OCCWSIProposer:
             if conflict:
                 aborts += 1
                 retry_counts[tx.hash] = retry_counts.get(tx.hash, 0) + 1
+                if trace_on:
+                    tracer.instant(
+                        "abort",
+                        now,
+                        lane=lane,
+                        tx=tx.hash.hex()[:8],
+                        retries=retry_counts[tx.hash],
+                        snapshot=snapshot_version,
+                    )
                 if retry_counts[tx.hash] >= cfg.max_retries:
                     pool.drop(tx)
                     retries_exhausted += 1
@@ -255,8 +304,24 @@ class OCCWSIProposer:
             cur_gas += result.gas_used
             total_fees += result.fee
             pool.mark_packed(tx)
+            if trace_on:
+                tracer.record(
+                    "commit",
+                    commit_start,
+                    commit_end,
+                    lane=lane,
+                    tx=tx.hash.hex()[:8],
+                    version=version,
+                )
             queue.push(commit_end, ("free", lane))
             wake_idle(commit_end)
+
+        if propose_scope is not None:
+            propose_scope.span.end = last_commit_end
+            propose_scope.span.attrs.update(
+                committed=len(committed), aborts=aborts, executions=executions
+            )
+            propose_scope.__exit__(None, None, None)
 
         stats = RunStats(
             makespan=last_commit_end,
@@ -270,6 +335,17 @@ class OCCWSIProposer:
                 "abort_rate": aborts / executions if executions else 0.0,
             },
         )
+        if metrics is not None:
+            metrics.counter("proposer.executions").inc(executions)
+            metrics.counter("proposer.aborts").inc(aborts)
+            metrics.counter("proposer.commits").inc(len(committed))
+            metrics.counter("proposer.invalid_dropped").inc(invalid_dropped)
+            metrics.counter("proposer.retries_exhausted").inc(retries_exhausted)
+            retry_hist = metrics.histogram("proposer.tx_aborts", _RETRY_EDGES)
+            for count in retry_counts.values():
+                retry_hist.observe(count)
+            metrics.gauge("proposer.makespan_us").set(last_commit_end)
+            metrics.merge_into(stats.extra)
         return ProposalResult(
             committed=committed,
             stats=stats,

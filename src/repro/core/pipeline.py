@@ -35,6 +35,8 @@ from repro.core.validator import ParallelValidator, ValidationResult, ValidatorC
 from repro.evm.interpreter import EVM, ExecutionContext
 from repro.faults.errors import FailureReason, ValidationFailure
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.simcore.costmodel import CostModel
 from repro.simcore.lanes import LaneGroup
 from repro.simcore.stats import RunStats
@@ -122,10 +124,17 @@ class ValidatorPipeline:
         config: Optional[PipelineConfig] = None,
         cost_model: Optional[CostModel] = None,
         injector: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or PipelineConfig()
         self.cost_model = cost_model or CostModel()
+        #: Pipeline spans live on the *global* pipeline clock; the inner
+        #: per-block validator keeps its own standalone clock, so it gets
+        #: the metrics registry (counters accumulate) but not the tracer.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._validator = ParallelValidator(
             evm=self.evm,
             config=ValidatorConfig(
@@ -139,6 +148,7 @@ class ValidatorPipeline:
             ),
             cost_model=self.cost_model,
             injector=injector,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------ #
@@ -235,6 +245,19 @@ class ValidatorPipeline:
                 stats.exec_retries += max(r.exec_attempts - 1, 0)
             if r.failure is not None:
                 stats.count_failure(r.failure.reason)
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("pipeline.blocks").inc(n)
+            metrics.counter("pipeline.blocks_accepted").inc(
+                sum(1 for t in timings if t.accepted)
+            )
+            metrics.counter("pipeline.blocks_rejected").inc(
+                sum(1 for t in timings if not t.accepted)
+            )
+            metrics.counter("pipeline.context_switches").inc(switches)
+            metrics.gauge("pipeline.makespan_us").set(makespan)
+            metrics.gauge("pipeline.pool_utilization").set(pool.utilization())
+            metrics.merge_into(stats.extra)
         return PipelineResult(
             results=[r for r in results],
             timings=timings,
@@ -284,8 +307,13 @@ class ValidatorPipeline:
         order: List[int],
     ) -> tuple:
         model = self.cost_model
+        tracer = self.tracer
+        trace_on = tracer.enabled
         pool = LaneGroup(
-            self.config.worker_lanes, record_trace=self.config.record_trace
+            self.config.worker_lanes,
+            record_trace=self.config.record_trace,
+            tracer=tracer if trace_on else None,
+            span_namer=_subgraph_span_name,
         )
         timings: List[Optional[BlockTiming]] = [None] * len(blocks)
 
@@ -298,6 +326,16 @@ class ValidatorPipeline:
             if result is None or result.plan is None:
                 # rejected before scheduling: charge only the arrival
                 t = arrivals[i]
+                if trace_on:
+                    failure = result.failure if result is not None else None
+                    tracer.instant(
+                        "validation_failure",
+                        t,
+                        block=block.hash.hex()[:8],
+                        number=block.header.number,
+                        reason=failure.reason.value if failure is not None else "?",
+                        detail=(result.reason if result is not None else None) or "",
+                    )
                 timings[i] = BlockTiming(i, arrivals[i], t, t, t, t, accepted=False)
                 continue
 
@@ -317,6 +355,22 @@ class ValidatorPipeline:
                 if t is not None and t.accepted and t.exec_end > ready
             )
             ship = model.result_ship_per_tx * inflight
+
+            block_scope = (
+                tracer.scope(
+                    "block",
+                    arrivals[i],
+                    block=block.hash.hex()[:8],
+                    number=block.header.number,
+                    txs=len(result.tx_costs),
+                    accepted=result.accepted,
+                )
+                if trace_on
+                else None
+            )
+            if block_scope is not None:
+                block_scope.__enter__()
+                tracer.record("prepare", ready, prep_end)
 
             # schedule this block's subgraphs onto the shared pool; heaviest
             # first (the validator's LPT plan order), lanes chosen globally
@@ -365,6 +419,27 @@ class ValidatorPipeline:
                 commit_gate = max(commit_gate, parent_timing.commit_end)
             commit_end = commit_gate + model.block_commit
 
+            if block_scope is not None:
+                tracer.record("validate", gate, validate_end)
+                tracer.record("commit", commit_gate, commit_end)
+                if result.used_serial_fallback:
+                    tracer.instant(
+                        "serial_fallback", prep_end, block=block.hash.hex()[:8]
+                    )
+                if not result.accepted and result.failure is not None:
+                    # scheduled but rejected (e.g. a lying profile caught by
+                    # Algorithm 2): surface the typed reason in the trace
+                    tracer.instant(
+                        "validation_failure",
+                        validate_end,
+                        block=block.hash.hex()[:8],
+                        number=block.header.number,
+                        reason=result.failure.reason.value,
+                        detail=result.reason or "",
+                    )
+                block_scope.span.end = commit_end
+                block_scope.__exit__(None, None, None)
+
             timings[i] = BlockTiming(
                 index=i,
                 arrival=arrivals[i],
@@ -376,6 +451,11 @@ class ValidatorPipeline:
             )
 
         return [t for t in timings], pool.total_context_switches, pool
+
+
+def _subgraph_span_name(tag) -> str:
+    """Lane-span name for one scheduled subgraph: ``exec_subgraph``."""
+    return "exec_subgraph"
 
 
 def _skipped(block: Block, reason: str, code: FailureReason) -> ValidationResult:

@@ -93,12 +93,17 @@ def seal_block(
     include_profile: bool = True,
     uncles=(),
     params: ChainParams = DEFAULT_CHAIN_PARAMS,
+    metrics=None,
 ) -> SealedProposal:
     """Assemble header, receipts and profile from a proposing run.
 
     ``include_profile=False`` produces a legacy block without execution
     details (the validator must then fall back to pre-execution in its
     preparation phase — an ablation the benchmarks exercise).
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) observes
+    the sealed block's composition — transaction count, gas, and the
+    profile bytes the proposer ships to validators.
     """
     committed = proposal.committed
     txs = tuple(c.tx for c in committed)
@@ -168,4 +173,10 @@ def seal_block(
         logs_bloom=logs_bloom,
     )
     block = Block(header, txs, receipts, profile, uncles=tuple(uncles))
+    if metrics is not None:
+        metrics.counter("proposer.blocks_sealed").inc()
+        metrics.gauge("proposer.block_txs").set(len(txs))
+        metrics.gauge("proposer.block_gas").set(proposal.gas_used)
+        if profile is not None:
+            metrics.gauge("proposer.profile_entries").set(len(profile.entries))
     return SealedProposal(block=block, post_state=post_state, proposal=proposal)

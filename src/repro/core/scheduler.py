@@ -82,11 +82,16 @@ _ORDERINGS: Dict[str, Callable] = {
 SCHEDULER_POLICIES: Tuple[str, ...] = tuple(_ORDERINGS) + ("round_robin",)
 
 
+#: Fixed buckets for subgraph sizes (transactions per conflict component).
+_SUBGRAPH_SIZE_EDGES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 1 << 20)
+
+
 def schedule_components(
     graph: DependencyGraph,
     lanes: int,
     policy: str = "gas_lpt",
     seed: int = 0,
+    metrics=None,
 ) -> SchedulePlan:
     """Assign subgraphs to ``lanes`` threads under the given policy.
 
@@ -94,6 +99,10 @@ def schedule_components(
     subgraphs in the policy's order, place each on the currently
     least-loaded thread (load measured in estimated gas).  ``round_robin``
     ignores load entirely.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) observes
+    subgraph sizes and the resulting per-lane gas imbalance — the signal
+    behind LPT's quality on storage-heavy outliers (§5.4).
     """
     if lanes < 1:
         raise ValueError("need at least one lane")
@@ -120,6 +129,20 @@ def schedule_components(
         tuple(tx for comp in comps for tx in graph.components[comp])
         for comps in lane_components
     )
+    if metrics is not None:
+        size_hist = metrics.histogram("scheduler.subgraph_size", _SUBGRAPH_SIZE_EDGES)
+        for component in graph.components:
+            size_hist.observe(len(component))
+        metrics.counter("scheduler.plans").inc()
+        loads = [
+            sum(graph.component_gas(c) for c in comps) for comps in lane_components
+        ]
+        busiest = max(loads) if loads else 0
+        mean_load = sum(loads) / len(loads) if loads else 0
+        # imbalance 1.0 = perfectly level; the LPT-vs-actual-time gap
+        metrics.gauge("scheduler.load_imbalance").set(
+            busiest / mean_load if mean_load else 0.0
+        )
     return SchedulePlan(
         lanes=lanes,
         lane_components=tuple(tuple(c) for c in lane_components),

@@ -37,12 +37,20 @@ from repro.core.scheduler import SchedulePlan, schedule_components
 from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
 from repro.faults.errors import FailureReason, ValidationFailure, WorkerFault
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.simcore.costmodel import CostModel
 from repro.simcore.stats import RunStats
 from repro.state.access import ReadWriteSet, RecordingState
 from repro.state.statedb import StateDB, StateSnapshot
 
 __all__ = ["ValidatorConfig", "PhaseTimes", "ValidationResult", "ParallelValidator"]
+
+#: Fixed buckets (simulated µs) for per-phase duration histograms.
+PHASE_US_EDGES = (
+    0.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0,
+    6400.0, 12800.0, 25600.0, 51200.0, 102400.0, 1e9,
+)
 
 
 @dataclass(frozen=True)
@@ -146,6 +154,8 @@ class ParallelValidator:
         config: Optional[ValidatorConfig] = None,
         cost_model: Optional[CostModel] = None,
         injector: Optional[FaultInjector] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
@@ -154,6 +164,9 @@ class ParallelValidator:
         #: Optional fault source consulted during the execution phase.
         #: ``None`` (production) makes every fault hook a no-op.
         self.injector = injector
+        #: Span sink on the simulated clock (NullTracer default: free).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
 
@@ -178,8 +191,27 @@ class ParallelValidator:
             )
         model = self.cost_model
         n = len(block.transactions)
+        tracer = self.tracer
+        trace_on = tracer.enabled
+        metrics = self.metrics
 
         def rejected(reason: str, **kwargs) -> ValidationResult:
+            failure = kwargs.get("failure")
+            if trace_on:
+                # failure spans carry the typed FailureReason so fault
+                # injection runs are diffable from the trace alone
+                tracer.instant(
+                    "validation_failure",
+                    0.0,
+                    block=block.hash.hex()[:8],
+                    number=block.number,
+                    reason=failure.reason.value if failure is not None else reason,
+                    detail=reason,
+                )
+            if metrics is not None:
+                metrics.counter("validator.blocks_rejected").inc()
+                if failure is not None:
+                    metrics.counter(f"validator.failure.{failure.reason.value}").inc()
             return ValidationResult(
                 accepted=False,
                 reason=reason,
@@ -278,6 +310,17 @@ class ParallelValidator:
             if crashed is None:
                 break
             worker_faults += 1
+            if trace_on:
+                tracer.instant(
+                    "worker_fault",
+                    0.0,
+                    block=block.hash.hex()[:8],
+                    attempt=attempt,
+                    tx=crashed.tx_index,
+                    reason=FailureReason.WORKER_FAULT.value,
+                )
+            if metrics is not None:
+                metrics.counter("validator.worker_faults").inc()
             retry_penalty += model.abort_overhead + model.retry_backoff * (2**attempt)
             if attempt < self.config.max_parallel_retries:
                 attempt += 1
@@ -296,6 +339,12 @@ class ParallelValidator:
                 )
             # degrade: one final serial pass, fault hooks disabled
             used_serial = True
+            if trace_on:
+                tracer.instant(
+                    "serial_fallback", 0.0, block=block.hash.hex()[:8], attempts=attempt + 1
+                )
+            if metrics is not None:
+                metrics.counter("validator.serial_fallbacks").inc()
             consult = None
             attempt += 1
 
@@ -373,7 +422,9 @@ class ParallelValidator:
         prep_cost += retry_penalty
         lanes = 1 if used_serial else self.config.lanes
         graph = build_dependency_graph(footprints, gas_estimates)
-        plan = schedule_components(graph, lanes, self.config.policy, self.config.seed)
+        plan = schedule_components(
+            graph, lanes, self.config.policy, self.config.seed, metrics=metrics
+        )
 
         # ----- profile verification (Algorithm 2) -------------------------- #
         if profile is not None and self.config.verify_profile:
@@ -429,6 +480,28 @@ class ParallelValidator:
         stats.worker_faults = worker_faults
         stats.exec_retries = attempt
         stats.serial_fallbacks = 1 if used_serial else 0
+        if trace_on:
+            self._emit_block_trace(
+                block, phases, plan, tx_costs, prep_cost,
+                prefetch_cost=prefetch_cost,
+                retry_penalty=retry_penalty,
+                used_serial=used_serial,
+            )
+        if metrics is not None:
+            metrics.counter("validator.blocks_accepted").inc()
+            metrics.histogram("validator.prep_us", PHASE_US_EDGES).observe(
+                phases.prep_end
+            )
+            metrics.histogram("validator.exec_us", PHASE_US_EDGES).observe(
+                phases.exec_end - phases.prep_end
+            )
+            metrics.histogram("validator.validate_us", PHASE_US_EDGES).observe(
+                phases.validate_end - phases.exec_end
+            )
+            metrics.histogram("validator.commit_us", PHASE_US_EDGES).observe(
+                phases.commit_end - phases.validate_end
+            )
+            metrics.merge_into(stats.extra)
 
         if (
             self.config.timeout_us is not None
@@ -512,6 +585,82 @@ class ParallelValidator:
             tasks=n,
         )
         return phases, stats
+
+    def _emit_block_trace(
+        self,
+        block: Block,
+        phases: PhaseTimes,
+        plan: SchedulePlan,
+        tx_costs: List[float],
+        prep_cost: float,
+        *,
+        prefetch_cost: float = 0.0,
+        retry_penalty: float = 0.0,
+        used_serial: bool = False,
+    ) -> None:
+        """Re-walk the timing simulation as a span tree (tracing only).
+
+        Kept separate from :meth:`_simulate_timing` so the untraced path
+        stays byte-for-byte the seed loop; this duplicate walk only runs
+        when a real tracer is attached.
+        """
+        tracer = self.tracer
+        model = self.cost_model
+        n = len(tx_costs)
+        attrs = {
+            "block": block.hash.hex()[:8],
+            "number": block.number,
+            "txs": n,
+            "lanes": plan.lanes,
+            "policy": plan.policy,
+        }
+        if used_serial:
+            attrs["serial_fallback"] = True
+        with tracer.scope("validate_block", 0.0, phases.commit_end, **attrs):
+            # preparation phase: prefetch + (depgraph, LPT split evenly —
+            # the cost model charges scheduling as one lump) + retry backoff
+            with tracer.scope("prepare", 0.0, phases.prep_end):
+                cursor = 0.0
+                if prefetch_cost > 0:
+                    tracer.record("prefetch", cursor, cursor + prefetch_cost)
+                    cursor += prefetch_cost
+                schedule_cost = model.schedule_per_tx * n
+                tracer.record("depgraph_build", cursor, cursor + schedule_cost / 2)
+                tracer.record(
+                    "lpt_assign", cursor + schedule_cost / 2, cursor + schedule_cost
+                )
+                cursor += schedule_cost
+                if retry_penalty > 0:
+                    tracer.record(
+                        "retry_backoff", cursor, cursor + retry_penalty
+                    )
+            with tracer.scope("execute", phases.prep_end, phases.exec_end):
+                for lane_index, lane_sequence in enumerate(plan.lane_txs):
+                    t = prep_cost
+                    for tx_index in lane_sequence:
+                        tracer.record(
+                            "execute_tx",
+                            t,
+                            t + tx_costs[tx_index],
+                            lane=lane_index,
+                            tx=tx_index,
+                        )
+                        t += tx_costs[tx_index]
+            with tracer.scope("validate", phases.prep_end, phases.validate_end):
+                # applier chain in block order (the phase-3 serial gate)
+                exec_end = [0.0] * n
+                for lane_sequence in plan.lane_txs:
+                    t = prep_cost
+                    for tx_index in lane_sequence:
+                        t += tx_costs[tx_index]
+                        exec_end[tx_index] = t
+                applied = prep_cost
+                for index in range(n):
+                    start = max(applied, exec_end[index])
+                    applied = start + model.applier_per_tx
+                    tracer.record("apply_tx", start, applied, tx=index)
+                tracer.record("block_epilogue", applied, phases.validate_end)
+            tracer.record("commit", phases.validate_end, phases.commit_end)
 
 
 def _rebuild_receipts(block: Block, tx_results: List[TxResult]) -> List[Receipt]:

@@ -15,6 +15,8 @@ from repro.core.proposer import SealedProposal, seal_block
 from repro.evm.interpreter import EVM, ExecutionContext
 from repro.faults.errors import BYZANTINE_REASONS, FailureReason, ValidationFailure
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.simcore.costmodel import CostModel
 from repro.state.statedb import StateSnapshot
 from repro.txpool.pool import TxPool
@@ -35,13 +37,25 @@ class ProposerNode:
         evm: Optional[EVM] = None,
         cost_model: Optional[CostModel] = None,
         params: ChainParams = DEFAULT_CHAIN_PARAMS,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.node_id = node_id
         self.params = params
         self.coinbase = coinbase or Address(
             (b"\xbb" + node_id.encode("utf-8")).ljust(20, b"\x00")[:20]
         )
-        self.engine = OCCWSIProposer(evm=evm, config=config, cost_model=cost_model)
+        # each node is one Chrome-trace "process"; its proposer spans
+        # (execute/abort/commit per lane) live under that pid
+        self.tracer = tracer.for_process(node_id) if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.engine = OCCWSIProposer(
+            evm=evm,
+            config=config,
+            cost_model=cost_model,
+            tracer=self.tracer,
+            metrics=metrics,
+        )
 
     def build_block(
         self,
@@ -73,6 +87,7 @@ class ProposerNode:
             include_profile=include_profile,
             uncles=uncles,
             params=self.params,
+            metrics=self.metrics,
         )
 
 
@@ -122,11 +137,20 @@ class ValidatorNode:
         injector: Optional[FaultInjector] = None,
         quarantine_threshold: int = 3,
         txpool: Optional[TxPool] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.node_id = node_id
         self.chain = Blockchain(genesis_state)
+        self.tracer = tracer.for_process(node_id) if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.pipeline = ValidatorPipeline(
-            evm=evm, config=config, cost_model=cost_model, injector=injector
+            evm=evm,
+            config=config,
+            cost_model=cost_model,
+            injector=injector,
+            tracer=self.tracer,
+            metrics=metrics,
         )
         self.quarantine_threshold = quarantine_threshold
         self.txpool = txpool
@@ -145,12 +169,23 @@ class ValidatorNode:
         Parent states are resolved from this node's chain; blocks whose
         parents are unknown are rejected (no orphan pool in this model).
         """
+        tracer = self.tracer
+        trace_on = tracer.enabled
         admitted: List[Block] = []
         admitted_arrivals: List[float] = []
         failure_by_hash: Dict[bytes, Optional[ValidationFailure]] = {}
         quarantined: List[Block] = []
         for index, block in enumerate(blocks):
+            arrival = arrivals[index] if arrivals is not None else 0.0
             proposer = block.header.proposer_id
+            if trace_on:
+                tracer.instant(
+                    "block_received",
+                    arrival,
+                    block=block.hash.hex()[:8],
+                    number=block.header.number,
+                    proposer=proposer,
+                )
             if proposer and proposer in self.quarantined_proposers:
                 quarantined.append(block)
                 failure_by_hash[bytes(block.hash)] = ValidationFailure(
@@ -158,9 +193,17 @@ class ValidatorNode:
                     detail=f"proposer {proposer} quarantined after "
                     f"{self._strikes.get(proposer, 0)} byzantine blocks",
                 )
+                if trace_on:
+                    tracer.instant(
+                        "quarantine_reject",
+                        arrival,
+                        block=block.hash.hex()[:8],
+                        proposer=proposer,
+                        reason=FailureReason.PROPOSER_QUARANTINED.value,
+                    )
                 continue
             admitted.append(block)
-            admitted_arrivals.append(arrivals[index] if arrivals is not None else 0.0)
+            admitted_arrivals.append(arrival)
 
         parent_states = {}
         for block in admitted:
@@ -198,6 +241,12 @@ class ValidatorNode:
                 new_head = new_head or became_head
 
         restored = self._restore_transactions(accepted, rejected)
+        if self.metrics is not None:
+            self.metrics.counter("node.blocks_received").inc(len(blocks))
+            self.metrics.counter("node.blocks_accepted").inc(len(accepted))
+            self.metrics.counter("node.blocks_rejected").inc(len(rejected))
+            self.metrics.counter("node.blocks_quarantined").inc(len(quarantined))
+            self.metrics.counter("node.restored_txs").inc(restored)
         return ReceiveOutcome(
             pipeline=result,
             accepted=accepted,
@@ -220,8 +269,20 @@ class ValidatorNode:
         if not proposer or self.quarantine_threshold <= 0:
             return
         self._strikes[proposer] = self._strikes.get(proposer, 0) + 1
-        if self._strikes[proposer] >= self.quarantine_threshold:
+        if (
+            self._strikes[proposer] >= self.quarantine_threshold
+            and proposer not in self.quarantined_proposers
+        ):
             self.quarantined_proposers.add(proposer)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "proposer_quarantined",
+                    0.0,
+                    proposer=proposer,
+                    strikes=self._strikes[proposer],
+                )
+            if self.metrics is not None:
+                self.metrics.counter("node.proposers_quarantined").inc()
 
     def _restore_transactions(
         self, accepted: Sequence[Block], rejected: Sequence[Block]

@@ -29,6 +29,8 @@ from repro.core.occ_wsi import ProposerConfig
 from repro.core.pipeline import PipelineConfig
 from repro.faults.injector import FaultConfig, FaultInjector, FaultyChannel
 from repro.network.node import ProposerNode, ValidatorNode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.workload.generator import BlockWorkloadGenerator, WorkloadConfig
 from repro.workload.universe import Universe
 
@@ -108,10 +110,15 @@ class NetworkSimulation:
         config: Optional[NetworkConfig] = None,
         workload: Optional[WorkloadConfig] = None,
         faults: Optional[FaultConfig] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.universe = universe
         self.config = config or NetworkConfig()
         self.faults = faults
+        #: Root tracer: every node registers itself as one trace process.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.injector = FaultInjector(faults or FaultConfig(seed=self.config.seed))
         self.rng = random.Random(self.config.seed)
         self.generator = BlockWorkloadGenerator(
@@ -121,6 +128,8 @@ class NetworkSimulation:
             ProposerNode(
                 f"proposer-{i}",
                 config=ProposerConfig(lanes=self.config.proposer_lanes),
+                tracer=self.tracer,
+                metrics=metrics,
             )
             for i in range(self.config.n_proposers)
         ]
@@ -135,6 +144,8 @@ class NetworkSimulation:
                 universe.genesis,
                 config=PipelineConfig(worker_lanes=self.config.validator_lanes),
                 quarantine_threshold=self.config.quarantine_threshold,
+                tracer=self.tracer,
+                metrics=metrics,
             )
             for i in range(self.config.n_validators)
         ]
@@ -237,9 +248,39 @@ class NetworkSimulation:
 
     def _deliver(self, validator, round_no: int, blocks):
         """Hand a round's blocks to one validator, through its channel."""
+        trace_on = self.tracer.enabled
         if self.channels is None:
+            if trace_on:
+                for block in blocks:
+                    self.tracer.instant(
+                        "send",
+                        float(round_no),
+                        block=block.hash.hex()[:8],
+                        to=validator.node_id,
+                    )
+            if self.metrics is not None:
+                self.metrics.counter("net.blocks_sent").inc(len(blocks))
+                self.metrics.counter("net.blocks_delivered").inc(len(blocks))
             return validator.receive_blocks(blocks)
         deliveries = self.channels[validator.node_id].deliver(round_no, blocks)
+        if trace_on:
+            for block in blocks:
+                self.tracer.instant(
+                    "send",
+                    float(round_no),
+                    block=block.hash.hex()[:8],
+                    to=validator.node_id,
+                )
+            for block, arrival in deliveries:
+                self.tracer.instant(
+                    "receive",
+                    arrival,
+                    block=block.hash.hex()[:8],
+                    at=validator.node_id,
+                )
+        if self.metrics is not None:
+            self.metrics.counter("net.blocks_sent").inc(len(blocks))
+            self.metrics.counter("net.blocks_delivered").inc(len(deliveries))
         return validator.receive_blocks(
             [block for block, _ in deliveries],
             arrivals=[arrival for _, arrival in deliveries],

@@ -1,0 +1,51 @@
+"""Observability: sim-clock span tracing, metrics, exporters, baselines.
+
+Everything here runs on the **simulated** clock — span timestamps are the
+same microseconds the cost model charges, so traces from same-seed runs
+are bit-identical and diffable.  Four pieces:
+
+* :mod:`repro.obs.tracer` — nested spans (``Tracer``) with a free
+  ``NullTracer`` default so uninstrumented hot paths pay one branch.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with a
+  plain-dict ``snapshot()`` merged into ``RunStats.extra``.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and a text flame summary.
+* :mod:`repro.obs.baseline` — machine-readable ``BENCH_<name>.json``
+  benchmark baselines and a regression comparator.
+"""
+
+from repro.obs.baseline import (
+    BaselineComparison,
+    Delta,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    flame_summary,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "flame_summary",
+    "write_chrome_trace",
+    "write_baseline",
+    "load_baseline",
+    "compare",
+    "BaselineComparison",
+    "Delta",
+]

@@ -1,0 +1,204 @@
+"""Trace exporters: Chrome trace-event JSON and a text flame summary.
+
+The Chrome format (loadable in Perfetto or ``chrome://tracing``) maps the
+simulation's structure onto the viewer's: one *process* per network node
+(``Span.pid``), one *thread* per worker lane (``Span.lane``; spans without
+a lane land on the control thread).  Timestamps are simulated
+microseconds, which is exactly the unit the trace-event spec expects for
+``ts``/``dur`` — traces open with real time axes.
+
+Serialisation is deterministic (sorted keys, fixed separators, spans in
+creation order), so same-seed runs export byte-identical files — the
+contract the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "flame_summary",
+    "CONTROL_TID",
+]
+
+#: Thread id used for spans not pinned to a worker lane (phase spans,
+#: applier chain, failure events).  Lanes are numbered from 0, so the
+#: control thread sorts first in viewers.
+CONTROL_TID = -1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """Flatten a tracer into trace-event dicts (metadata first)."""
+    events: List[dict] = []
+
+    processes = dict(tracer.processes) or {0: "sim"}
+    seen_threads: Dict[Tuple[int, int], None] = {}
+    for span in tracer.spans:
+        tid = span.lane if span.lane is not None else CONTROL_TID
+        seen_threads.setdefault((span.pid, tid), None)
+        processes.setdefault(span.pid, f"process-{span.pid}")
+
+    for pid in sorted(processes):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "name": "process_name",
+                "args": {"name": processes[pid]},
+            }
+        )
+    for pid, tid in sorted(seen_threads):
+        label = "control" if tid == CONTROL_TID else f"lane-{tid}"
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "ts": 0,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+
+    for span in tracer.spans:
+        tid = span.lane if span.lane is not None else CONTROL_TID
+        args = {k: _jsonable(v) for k, v in sorted(span.attrs.items())}
+        if span.is_instant:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": span.pid,
+                    "tid": tid,
+                    "ts": span.start,
+                    "name": span.name,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": span.pid,
+                    "tid": tid,
+                    "ts": span.start,
+                    "dur": span.end - span.start,
+                    "name": span.name,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, *, indent: Optional[int] = None) -> str:
+    """Deterministic JSON document for the whole trace."""
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated-us", "source": "repro.obs"},
+    }
+    if indent is None:
+        return json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return json.dumps(document, sort_keys=True, indent=indent)
+
+
+def write_chrome_trace(tracer: Tracer, path: str, *, indent: Optional[int] = None) -> str:
+    """Write the trace JSON to ``path``; returns the path."""
+    payload = chrome_trace_json(tracer, indent=indent)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+        fh.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+
+
+class _Node:
+    __slots__ = ("total", "self_time", "count", "children")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.self_time = 0.0
+        self.count = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def flame_summary(tracer: Tracer, *, min_share: float = 0.0) -> str:
+    """Aggregate the span tree by name-path into a text flame view.
+
+    Each line shows a span name at its nesting depth with its *total*
+    simulated time, *self* time (total minus direct children), and call
+    count; siblings sort by total descending.  Instant events are listed
+    as counts only.  ``min_share`` (fraction of the root total) prunes
+    noise lines.
+    """
+    by_id: Dict[int, Span] = {s.id: s for s in tracer.spans}
+    root = _Node()
+
+    def path_of(span: Span) -> List[str]:
+        names: List[str] = []
+        cursor: Optional[Span] = span
+        while cursor is not None:
+            names.append(cursor.name)
+            cursor = by_id.get(cursor.parent_id) if cursor.parent_id is not None else None
+        return list(reversed(names))
+
+    instants: Dict[str, int] = {}
+    child_time: Dict[int, float] = {}
+    for span in tracer.spans:
+        if span.is_instant:
+            instants[span.name] = instants.get(span.name, 0) + 1
+            continue
+        if span.parent_id is not None and span.parent_id in by_id:
+            child_time[span.parent_id] = child_time.get(span.parent_id, 0.0) + span.duration
+
+    for span in tracer.spans:
+        if span.is_instant:
+            continue
+        node = root
+        for name in path_of(span):
+            node = node.children.setdefault(name, _Node())
+        node.total += span.duration
+        node.self_time += max(span.duration - child_time.get(span.id, 0.0), 0.0)
+        node.count += 1
+
+    grand_total = sum(c.total for c in root.children.values())
+    lines = [
+        f"flame summary — {len(tracer.spans)} spans, "
+        f"{grand_total:.1f}us total simulated time"
+    ]
+
+    def walk(node: _Node, depth: int) -> None:
+        ordered = sorted(node.children.items(), key=lambda kv: (-kv[1].total, kv[0]))
+        for name, child in ordered:
+            if grand_total > 0 and child.total / grand_total < min_share:
+                continue
+            share = child.total / grand_total if grand_total > 0 else 0.0
+            lines.append(
+                f"{'  ' * depth}{name:<{max(36 - 2 * depth, 8)}} "
+                f"total={child.total:12.1f}us  self={child.self_time:12.1f}us  "
+                f"n={child.count:6d}  {share:6.1%}"
+            )
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    if instants:
+        lines.append("instant events:")
+        for name, count in sorted(instants.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {name:<34} n={count:6d}")
+    return "\n".join(lines) + "\n"

@@ -29,6 +29,9 @@ class Lane:
     #: Optional trace of (start, end, tag) tuples, kept only when the owning
     #: group was built with ``record_trace=True``.
     trace: list[tuple[float, float, Any]] = field(default_factory=list)
+    #: Ids of the tracer spans emitted for this lane's tasks, in run order
+    #: (populated only when the owning group carries a tracer).
+    span_ids: list[int] = field(default_factory=list)
 
     def run(
         self,
@@ -67,11 +70,24 @@ class Lane:
 class LaneGroup:
     """A pool of simulated lanes with earliest-available selection."""
 
-    def __init__(self, count: int, *, record_trace: bool = False) -> None:
+    def __init__(
+        self,
+        count: int,
+        *,
+        record_trace: bool = False,
+        tracer=None,
+        span_namer=None,
+    ) -> None:
         if count < 1:
             raise ValueError("LaneGroup needs at least one lane")
         self.lanes = [Lane(i) for i in range(count)]
         self.record_trace = record_trace
+        #: Optional :class:`repro.obs.tracer.Tracer`: every task run through
+        #: the group is emitted as a span (lane id = Chrome-trace thread)
+        #: and its span id is recorded on the lane.
+        self.tracer = tracer
+        #: Maps a task tag to the emitted span's name (default "task").
+        self.span_namer = span_namer
 
     def __len__(self) -> int:
         return len(self.lanes)
@@ -123,6 +139,10 @@ class LaneGroup:
             tag=tag,
             record=self.record_trace,
         )
+        if self.tracer is not None and self.tracer.enabled:
+            name = self.span_namer(tag) if self.span_namer is not None else "task"
+            span = self.tracer.record(name, start, end, lane=lane.index, tag=tag)
+            lane.span_ids.append(span.id)
         return lane, start, end
 
     @property
@@ -154,3 +174,4 @@ class LaneGroup:
             lane.context_switches = 0
             lane.context = None
             lane.trace.clear()
+            lane.span_ids.clear()

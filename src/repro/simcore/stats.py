@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -113,17 +114,12 @@ def histogram(values: Iterable[float], edges: Sequence[float]) -> list[int]:
     """
     if len(edges) < 2:
         raise ValueError("need at least two edges")
+    if any(a >= b for a, b in zip(edges, edges[1:])):
+        raise ValueError(f"edges must be strictly increasing: {edges!r}")
     counts = [0] * (len(edges) - 1)
+    last = len(counts) - 1
     for v in values:
-        if v < edges[0]:
-            counts[0] += 1
-            continue
-        placed = False
-        for i in range(len(edges) - 1):
-            if edges[i] <= v < edges[i + 1]:
-                counts[i] += 1
-                placed = True
-                break
-        if not placed:
-            counts[-1] += 1
+        # bisect_right - 1 gives the bucket whose [lo, hi) contains v;
+        # min/max clamp out-of-range samples into the end buckets
+        counts[min(max(bisect_right(edges, v) - 1, 0), last)] += 1
     return counts

@@ -11,11 +11,13 @@ from repro.analysis.metrics import (
     scaling_sweep_table,
 )
 from repro.analysis.report import (
+    format_failures,
     format_histogram,
     format_series,
     format_table,
     write_report,
 )
+from repro.simcore.stats import RunStats
 
 
 class TestMetrics:
@@ -84,3 +86,27 @@ class TestReport:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "envdir"))
         path = write_report("unit2", "x")
         assert str(tmp_path / "envdir") in path
+
+    def test_format_failures_from_runstats(self):
+        stats = RunStats(makespan=10.0, total_work=10.0, lanes=2)
+        stats.failures = {"state_root_mismatch": 3, "profile_mismatch": 1}
+        stats.worker_faults = 2
+        stats.serial_fallbacks = 1
+        out = format_failures(stats)
+        lines = out.splitlines()
+        # sorted by count descending, with shares of the total
+        assert "state_root_mismatch" in lines[3] and "75%" in lines[3]
+        assert "profile_mismatch" in lines[4] and "25%" in lines[4]
+        assert "worker_faults: 2" in out
+        assert "serial_fallbacks: 1" in out
+        assert "exec_retries" not in out  # zero counters stay silent
+
+    def test_format_failures_from_mapping(self):
+        out = format_failures({"bad_block": 2}, title="rejections")
+        assert out.splitlines()[0] == "rejections"
+        assert "bad_block" in out and "100%" in out
+        assert "worker_faults" not in out
+
+    def test_format_failures_empty(self):
+        stats = RunStats(makespan=1.0, total_work=1.0, lanes=1)
+        assert "(no rows)" in format_failures(stats)

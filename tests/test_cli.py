@@ -23,6 +23,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "round"
+        assert args.rounds == 2
+        assert args.out == "trace.json"
+
 
 class TestCommands:
     """Run each command on a tiny workload; assert exit code and output."""
@@ -54,3 +60,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig. 8" in out
         assert "%" in out
+
+    def test_trace_round(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        argv = [*self.ARGS, "trace", "--rounds", "1", "--out", str(out_path)]
+        assert main(argv) == 0
+        printed = capsys.readouterr().out
+        assert "flame summary" in printed
+        assert "metrics:" in printed
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+        assert (tmp_path / "trace_flame.txt").read_text().startswith("flame")
+
+    def test_trace_network(self, tmp_path):
+        out_path = tmp_path / "net.json"
+        argv = [
+            *self.ARGS, "trace", "--scenario", "network",
+            "--rounds", "1", "--out", str(out_path),
+        ]
+        assert main(argv) == 0
+        assert out_path.exists()

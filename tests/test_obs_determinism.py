@@ -1,0 +1,192 @@
+"""Same seed, same trace: determinism contracts for the obs layer.
+
+The tracer runs on the simulated clock, so two runs over identical inputs
+must export byte-identical Chrome-trace JSON and equal metrics snapshots —
+including runs that exercise the PR-1 fault machinery (worker faults,
+byzantine corruption), whose failure events must carry the typed
+:class:`~repro.faults.errors.FailureReason` as a span attribute.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.faults.errors import FailureReason
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.network.node import ProposerNode, ValidatorNode
+from repro.network.simnet import NetworkConfig, NetworkSimulation
+from repro.obs import MetricsRegistry, Tracer, chrome_trace_json
+
+
+@pytest.fixture()
+def sealed(small_universe, small_generator, genesis_chain):
+    txs = small_generator.generate_block_txs()
+    return ProposerNode("alice").build_block(
+        genesis_chain.genesis.header, small_universe.genesis, txs
+    ), txs
+
+
+class TestProposerDeterminism:
+    def test_traced_propose_replays_identically(
+        self, small_universe, small_generator, genesis_chain
+    ):
+        txs = small_generator.generate_block_txs()
+
+        def run():
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            node = ProposerNode("alice", tracer=tracer, metrics=metrics)
+            node.build_block(
+                genesis_chain.genesis.header, small_universe.genesis, txs
+            )
+            return chrome_trace_json(tracer), metrics.snapshot()
+
+        (json_a, snap_a), (json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        assert snap_a["counters"]["proposer.executions"] >= len(txs)
+
+
+class TestValidatorDeterminism:
+    def test_traced_validation_replays_identically(self, sealed, small_universe):
+        proposal, _ = sealed
+
+        def run():
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            validator = ParallelValidator(
+                config=ValidatorConfig(lanes=8), tracer=tracer, metrics=metrics
+            )
+            result = validator.validate_block(
+                proposal.block, small_universe.genesis
+            )
+            assert result.accepted
+            return chrome_trace_json(tracer), metrics.snapshot()
+
+        (json_a, snap_a), (json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        assert snap_a["counters"]["validator.blocks_accepted"] == 1
+
+
+class TestPipelineDeterminism:
+    def test_traced_node_pipeline_replays_identically(
+        self, sealed, small_universe
+    ):
+        proposal, _ = sealed
+
+        def run():
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            node = ValidatorNode(
+                "val",
+                small_universe.genesis,
+                config=PipelineConfig(worker_lanes=8),
+                tracer=tracer,
+                metrics=metrics,
+            )
+            outcome = node.receive_blocks([proposal.block])
+            assert outcome.accepted
+            return chrome_trace_json(tracer), metrics.snapshot()
+
+        (json_a, snap_a), (json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        assert snap_a["counters"]["pipeline.blocks_accepted"] == 1
+
+
+class TestFaultDeterminism:
+    def test_worker_faults_replay_identically_with_typed_spans(
+        self, sealed, small_universe
+    ):
+        proposal, _ = sealed
+
+        def run():
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            validator = ParallelValidator(
+                config=ValidatorConfig(lanes=8, max_parallel_retries=2),
+                injector=FaultInjector(
+                    FaultConfig(seed=7, worker_fault_rate=0.3)
+                ),
+                tracer=tracer,
+                metrics=metrics,
+            )
+            result = validator.validate_block(
+                proposal.block, small_universe.genesis
+            )
+            assert result.accepted  # degrades, never corrupts
+            return tracer, chrome_trace_json(tracer), metrics.snapshot()
+
+        (tracer_a, json_a, snap_a), (_, json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        faults = tracer_a.find("worker_fault")
+        assert faults, "0.3 fault rate must fire on this block"
+        for span in faults:
+            assert span.attrs["reason"] == FailureReason.WORKER_FAULT.value
+        assert snap_a["counters"]["validator.worker_faults"] == len(faults)
+
+    def test_byzantine_rejection_span_carries_failure_reason(
+        self, sealed, small_universe
+    ):
+        proposal, _ = sealed
+        corrupted = FaultInjector(FaultConfig(seed=3)).corrupt_block(
+            proposal.block, "profile_write_value"
+        )
+
+        def run():
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            validator = ParallelValidator(
+                config=ValidatorConfig(lanes=8), tracer=tracer, metrics=metrics
+            )
+            result = validator.validate_block(corrupted, small_universe.genesis)
+            assert not result.accepted
+            assert result.failure.reason is FailureReason.PROFILE_WRITE_MISMATCH
+            return tracer, chrome_trace_json(tracer), metrics.snapshot()
+
+        (tracer_a, json_a, snap_a), (_, json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        failures = tracer_a.find("validation_failure")
+        assert len(failures) == 1
+        assert (
+            failures[0].attrs["reason"]
+            == FailureReason.PROFILE_WRITE_MISMATCH.value
+        )
+        assert (
+            snap_a["counters"][
+                f"validator.failure.{FailureReason.PROFILE_WRITE_MISMATCH.value}"
+            ]
+            == 1
+        )
+
+
+class TestNetworkDeterminism:
+    def test_traced_network_run_replays_identically(self, small_universe):
+        config = NetworkConfig(
+            n_proposers=2,
+            n_validators=2,
+            rounds=2,
+            fork_probability=1.0,
+            byzantine_proposers=(1,),
+            seed=17,
+        )
+
+        def run():
+            universe = dataclasses.replace(small_universe, nonces={})
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            sim = NetworkSimulation(
+                universe, config=config, tracer=tracer, metrics=metrics
+            )
+            sim.run()
+            return chrome_trace_json(tracer), metrics.snapshot()
+
+        (json_a, snap_a), (json_b, snap_b) = run(), run()
+        assert json_a == json_b
+        assert snap_a == snap_b
+        assert snap_a["counters"]["net.blocks_sent"] > 0

@@ -94,3 +94,47 @@ class TestSummaries:
     def test_histogram_needs_two_edges(self):
         with pytest.raises(ValueError):
             histogram([1.0], [1])
+
+    def test_histogram_value_on_interior_edge(self):
+        # half-open buckets: an interior edge belongs to the bucket it opens
+        assert histogram([2.0], [1, 2, 3]) == [0, 1]
+        assert histogram([1.0, 2.0, 2.0, 3.0], [1, 2, 3, 4]) == [1, 2, 1]
+
+    def test_histogram_all_below_first_edge(self):
+        assert histogram([-5.0, 0.0, 0.999], [1, 2, 3]) == [3, 0]
+
+    def test_histogram_all_at_or_above_last_edge(self):
+        # the last edge itself is already out of the half-open range and
+        # clamps into the final bucket, like anything above it
+        assert histogram([3.0, 3.5, 100.0], [1, 2, 3]) == [0, 3]
+
+    def test_histogram_empty_values(self):
+        assert histogram([], [1, 2, 3]) == [0, 0]
+
+    def test_histogram_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], [3, 2, 1])
+        with pytest.raises(ValueError):
+            histogram([1.0], [1, 1, 2])  # duplicate edge: empty bucket
+
+    def test_histogram_matches_linear_reference(self):
+        # the bisect implementation must agree with the spec'd semantics
+        # on a dense sample sweep, including both clamps
+        edges = [0.0, 1.0, 2.5, 4.0, 8.0]
+
+        def reference(values):
+            counts = [0] * (len(edges) - 1)
+            for v in values:
+                if v < edges[0]:
+                    counts[0] += 1
+                    continue
+                for i in range(len(edges) - 1):
+                    if edges[i] <= v < edges[i + 1]:
+                        counts[i] += 1
+                        break
+                else:
+                    counts[-1] += 1
+            return counts
+
+        values = [x / 4.0 for x in range(-8, 48)]
+        assert histogram(values, edges) == reference(values)

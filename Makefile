@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults bench bench-json trace-demo examples clean
+.PHONY: install test test-fast test-faults lint typecheck coverage bench bench-json bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -13,9 +13,20 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" -x
 
+# everything tagged @pytest.mark.faults, wherever it lives
 test-faults:
-	$(PYTHON) -m pytest tests/test_faults_taxonomy.py tests/test_property_faults.py \
-		tests/test_network_faults.py benchmarks/bench_fault_overhead.py -q
+	$(PYTHON) -m pytest tests benchmarks -m faults -q
+
+lint:
+	ruff check src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+typecheck:
+	mypy
+
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term --cov-report=xml \
+		--cov-fail-under=70 -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -26,7 +37,20 @@ bench-json:
 	$(PYTHON) -m pytest benchmarks/bench_fig6_proposer.py \
 		benchmarks/bench_fig7a_scalability.py \
 		benchmarks/bench_fig9_multiblock.py \
-		benchmarks/bench_obs_overhead.py -q
+		benchmarks/bench_obs_overhead.py \
+		benchmarks/bench_wallclock_backends.py -q
+
+# regression gate: emit fresh sim-deterministic baselines into a scratch dir
+# (REPRO_BENCH_BLOCKS=4 matches how the committed goldens were generated)
+# and diff them against the committed goldens in benchmarks/results/
+bench-compare:
+	REPRO_RESULTS_DIR=benchmarks/results/.fresh REPRO_BENCH_BLOCKS=4 \
+		$(PYTHON) -m pytest benchmarks/bench_fig6_proposer.py \
+		benchmarks/bench_fig7a_scalability.py \
+		benchmarks/bench_fig9_multiblock.py -q
+	$(PYTHON) -m repro.obs.baseline \
+		--old-dir benchmarks/results --new-dir benchmarks/results/.fresh \
+		--names fig6_proposer fig7a_scalability fig9_multiblock
 
 trace-demo:
 	$(PYTHON) -m repro --txs-per-block 60 trace --scenario round --rounds 2 \
@@ -40,5 +64,7 @@ examples:
 	done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results
+	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results/.fresh \
+		.coverage coverage.xml .mypy_cache .ruff_cache
+	find benchmarks/results -type f ! -name 'BENCH_*.json' -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -13,7 +13,6 @@ Two design claims get quantified:
    cost the WSI read-set validation pays for lock freedom.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table

@@ -8,7 +8,6 @@ new work the moment they free up; in exchange, the round design makes
 abort decisions replayable.  Both pack identical transaction sets.
 """
 
-import pytest
 
 from benchmarks.conftest import THREAD_SWEEP, emit
 from repro.analysis.report import format_table

@@ -9,7 +9,6 @@ absolute block latency balloons, which is exactly why the paper
 normalises the comparison this way.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table

@@ -7,7 +7,6 @@ threads — quantifying how much of BlockPilot's validator win comes from
 the gas heuristic versus mere parallel structure.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.metrics import SweepPoint

@@ -24,7 +24,6 @@ propagation, caps it.
 
 import dataclasses
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.metrics import throughput_tps

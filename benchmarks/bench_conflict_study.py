@@ -8,7 +8,6 @@ by key kind, the hottest keys, and the share of transactions entangled
 in at least one conflict.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.conflicts import analyze_block_conflicts

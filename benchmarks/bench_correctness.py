@@ -7,7 +7,6 @@ OCC-WSI proposer's materialised state, and BlockPilot's parallel validator
 must all produce the header root for every block in the chain.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table

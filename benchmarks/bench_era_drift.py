@@ -13,7 +13,6 @@ it — the same downward trend the paper's argument rests on.
 
 import dataclasses
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.metrics import correlation

@@ -15,6 +15,10 @@ Two claims behind the robustness layer:
 import statistics
 import time
 
+import pytest
+
+pytestmark = pytest.mark.faults
+
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.core.validator import ParallelValidator, ValidatorConfig
@@ -24,16 +28,18 @@ FAULT_RATES = (0.01, 0.05, 0.10)
 REPEATS = 5
 
 
+def _one_wall(validator, entries):
+    """Wall-clock seconds for one validation pass over the chain prefix."""
+    start = time.perf_counter()
+    for entry in entries:
+        result = validator.validate_block(entry.block, entry.parent_state)
+        assert result.accepted, result.reason
+    return time.perf_counter() - start
+
+
 def _median_wall(validator, entries):
     """Median wall-clock seconds to validate the chain prefix."""
-    samples = []
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        for entry in entries:
-            result = validator.validate_block(entry.block, entry.parent_state)
-            assert result.accepted, result.reason
-        samples.append(time.perf_counter() - start)
-    return statistics.median(samples)
+    return statistics.median(_one_wall(validator, entries) for _ in range(REPEATS))
 
 
 def test_fault_hooks_overhead_when_disabled(bench_chain, capsys):
@@ -52,9 +58,17 @@ def test_fault_hooks_overhead_when_disabled(bench_chain, capsys):
         assert a.phases.commit_end == b.phases.commit_end
         assert a.post_state.state_root() == b.post_state.state_root()
 
-    _median_wall(baseline, entries)  # warm up caches/JIT-free interpreter
-    base = _median_wall(baseline, entries)
-    with_hooks = _median_wall(hooked, entries)
+    _one_wall(baseline, entries)  # warm up caches/JIT-free interpreter
+    _one_wall(hooked, entries)
+    # interleave samples (cancels slow machine drift) and compare the
+    # minima: preemption and cache pollution only ever add time, so the
+    # best-of-N pair is the closest to the true single-pass cost
+    base_samples, hook_samples = [], []
+    for _ in range(REPEATS):
+        base_samples.append(_one_wall(baseline, entries))
+        hook_samples.append(_one_wall(hooked, entries))
+    base = min(base_samples)
+    with_hooks = min(hook_samples)
     overhead = with_hooks / base - 1.0
 
     emit(

@@ -8,7 +8,6 @@ Regenerated here: the same sweep over the generated chain.  The baseline
 is geth-style serial block building over the identical pending set.
 """
 
-import pytest
 
 from benchmarks.conftest import THREAD_SWEEP, emit, emit_json
 from repro.analysis.metrics import SweepPoint, scaling_sweep_table

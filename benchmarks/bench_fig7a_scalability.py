@@ -5,7 +5,6 @@ past ~6 threads (hotspot critical path); the two-phase OCC comparator
 [27] stays below BlockPilot throughout.
 """
 
-import pytest
 
 from benchmarks.conftest import emit, emit_json
 from repro.analysis.metrics import SweepPoint

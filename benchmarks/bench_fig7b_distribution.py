@@ -10,7 +10,6 @@ the tail is populated.
 
 import dataclasses
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_histogram, format_table
@@ -19,7 +18,7 @@ from repro.core.validator import ParallelValidator, ValidatorConfig
 from repro.network.node import ProposerNode
 from repro.simcore.stats import summarize_speedups
 from repro.workload.generator import BlockWorkloadGenerator
-from repro.workload.scenarios import hotspot_scenario, mainnet_scenario
+from repro.workload.scenarios import hotspot_scenario
 
 
 def test_fig7b_speedup_distribution(bench_universe, bench_chain, benchmark, capsys):

@@ -10,7 +10,6 @@ proposers race over the same pending set (ForkSimulator), giving B valid
 sibling blocks.
 """
 
-import pytest
 
 from benchmarks.conftest import emit, emit_json
 from repro.analysis.report import format_table

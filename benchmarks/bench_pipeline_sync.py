@@ -16,7 +16,6 @@ why §3.4 motivates the design with the Byzantium network's sibling
 blocks.
 """
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table

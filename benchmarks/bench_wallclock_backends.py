@@ -1,0 +1,108 @@
+"""Wall-clock backend sweep — real cores instead of the simulated clock.
+
+Every other benchmark in this directory measures *simulated* microseconds;
+this one validates the same pre-built chain on the three real-parallelism
+backends (serial | thread | process) across a worker sweep and reports
+measured wall time.  The shape to look for mirrors Fig. 7(a): the process
+backend buys real speedup on multi-core hosts (the pure-Python EVM holds
+the GIL, so the thread backend is a correctness testbed more than a
+performance play), while every backend produces bit-identical results.
+
+Marked ``slow``: process pools + pickled state slices cost real seconds.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro.analysis.report import format_table
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.exec import ProcessBackend, SerialBackend, ThreadBackend
+
+pytestmark = pytest.mark.slow
+
+WORKER_SWEEP = (1, 2, 4)
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def _validate_chain_wall_ms(bench_chain, backend) -> tuple:
+    """Wall milliseconds to validate the whole chain, plus the state roots."""
+    validator = ParallelValidator(config=ValidatorConfig(lanes=16), backend=backend)
+    roots = []
+    start = time.perf_counter()
+    for entry in bench_chain:
+        res = validator.validate_block(entry.block, entry.parent_state)
+        assert res.accepted, res.reason
+        roots.append(res.post_state.state_root())
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    return elapsed_ms, roots
+
+
+def test_wallclock_backend_sweep(bench_chain, capsys):
+    rows = []
+    wall = {}
+    reference_roots = None
+    for name, cls in BACKENDS.items():
+        for workers in WORKER_SWEEP:
+            if name == "serial" and workers != 1:
+                continue  # serial has exactly one worker by construction
+            with cls(workers=workers) as backend:
+                elapsed_ms, roots = _validate_chain_wall_ms(bench_chain, backend)
+            if reference_roots is None:
+                reference_roots = roots
+            # equivalence is part of the benchmark contract: a fast wrong
+            # backend is not a data point
+            assert roots == reference_roots, (name, workers)
+            wall[(name, workers)] = elapsed_ms
+            rows.append(
+                {
+                    "backend": name,
+                    "workers": workers,
+                    "wall_ms": round(elapsed_ms, 1),
+                    "speedup_vs_serial_x": round(wall[("serial", 1)] / elapsed_ms, 2),
+                }
+            )
+
+    emit(
+        capsys,
+        "wallclock_backends",
+        format_table(
+            rows,
+            title="Wall-clock validator sweep — serial | thread | process backends",
+        ),
+    )
+    emit_json(
+        "wallclock_backends",
+        {
+            "by_backend": {
+                f"{name}@{workers}": {
+                    "wall_ms": round(ms, 1),
+                    "speedup_vs_serial_x": round(wall[("serial", 1)] / ms, 2),
+                }
+                for (name, workers), ms in wall.items()
+            },
+        },
+        config={
+            "blocks": len(bench_chain),
+            "worker_sweep": list(WORKER_SWEEP),
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        # the acceptance bar: real parallelism must beat the serial backend
+        # on the low-conflict workload once it has cores to spend
+        assert wall[("serial", 1)] / wall[("process", 4)] > 1.0, (
+            f"process@4 ({wall[('process', 4)]:.0f}ms) failed to beat "
+            f"serial ({wall[('serial', 1)]:.0f}ms) on {cpus} CPUs"
+        )
+    else:
+        with capsys.disabled():
+            print(f"\n[wallclock_backends] {cpus} CPU(s): speedup gate skipped")

@@ -11,6 +11,11 @@ Usage::
 
 All subcommands run on a freshly generated universe; ``--seed``,
 ``--txs-per-block`` and ``--blocks-per-point`` control workload size.
+
+``--backend sim|serial|thread|process`` selects the execution substrate:
+``sim`` (default) keeps the simulated-clock event loop every figure script
+uses; the other three run the same algorithms on real cores (see
+:mod:`repro.exec`), turning makespans into wall-clock microseconds.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
 from repro.core.pipeline import PipelineConfig, ValidatorPipeline
 from repro.core.validator import ParallelValidator, ValidatorConfig
 from repro.evm.interpreter import ExecutionContext
+from repro.exec import BACKEND_CHOICES, get_backend
 from repro.network.dissemination import ForkSimulator
 from repro.network.node import ProposerNode, ValidatorNode
 from repro.txpool.pool import TxPool
@@ -48,8 +54,9 @@ def _setup(args):
 
 def cmd_demo(args) -> int:
     universe, generator, chain = _setup(args)
-    proposer = ProposerNode("cli-proposer")
-    validator = ValidatorNode("cli-validator", universe.genesis)
+    backend = args.exec_backend
+    proposer = ProposerNode("cli-proposer", backend=backend)
+    validator = ValidatorNode("cli-validator", universe.genesis, backend=backend)
     txs = generator.generate_block_txs()
     sealed = proposer.build_block(chain.genesis.header, universe.genesis, txs)
     outcome = validator.receive_blocks([sealed.block])
@@ -87,7 +94,9 @@ def cmd_proposer(args) -> int:
 
     rows = []
     for lanes in args.lanes:
-        engine = OCCWSIProposer(config=ProposerConfig(lanes=lanes))
+        engine = OCCWSIProposer(
+            config=ProposerConfig(lanes=lanes), backend=args.exec_backend
+        )
         speedups = []
         for txs, ph, ps, header in blocks:
             ctx = ExecutionContext(
@@ -123,7 +132,9 @@ def cmd_validator(args) -> int:
 
     rows = []
     for lanes in args.lanes:
-        validator = ParallelValidator(config=ValidatorConfig(lanes=lanes))
+        validator = ParallelValidator(
+            config=ValidatorConfig(lanes=lanes), backend=args.exec_backend
+        )
         speedups = [
             validator.validate_block(block, state).speedup
             for block, state in blocks
@@ -136,7 +147,9 @@ def cmd_validator(args) -> int:
 def cmd_pipeline(args) -> int:
     universe, generator, chain = _setup(args)
     txs = generator.generate_block_txs()
-    pipe = ValidatorPipeline(config=PipelineConfig(worker_lanes=16))
+    pipe = ValidatorPipeline(
+        config=PipelineConfig(worker_lanes=16), backend=args.exec_backend
+    )
     parent_states = {chain.genesis.header.hash: universe.genesis}
     rows = []
     for count in args.blocks:
@@ -158,7 +171,9 @@ def cmd_pipeline(args) -> int:
 def cmd_hotspot(args) -> int:
     universe, _, chain = _setup(args)
     proposer = ProposerNode("cli")
-    validator = ParallelValidator(config=ValidatorConfig(lanes=16))
+    validator = ParallelValidator(
+        config=ValidatorConfig(lanes=16), backend=args.exec_backend
+    )
     rows = []
     for intensity in (0.0, 0.25, 0.5, 0.75, 1.0):
         uni = dataclasses.replace(universe, nonces={})
@@ -205,9 +220,15 @@ def cmd_trace(args) -> int:
         )
         sim.run()
     else:  # "round": proposer -> validator round trips on one chain
-        proposer = ProposerNode("proposer", tracer=tracer, metrics=metrics)
+        proposer = ProposerNode(
+            "proposer", tracer=tracer, metrics=metrics, backend=args.exec_backend
+        )
         validator = ValidatorNode(
-            "validator", universe.genesis, tracer=tracer, metrics=metrics
+            "validator",
+            universe.genesis,
+            tracer=tracer,
+            metrics=metrics,
+            backend=args.exec_backend,
         )
         parent_header, parent_state = chain.genesis.header, universe.genesis
         for _ in range(args.rounds):
@@ -246,6 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--txs-per-block", type=int, default=132)
     parser.add_argument("--blocks-per-point", type=int, default=4)
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="sim",
+        help="execution substrate: sim (event-loop clock, default) or a "
+        "real-core backend (serial | thread | process)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for real-core backends (default: all CPUs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="one propose/validate round trip")
@@ -286,7 +320,13 @@ COMMANDS = {
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    # one backend per invocation, shared by every engine the command builds
+    args.exec_backend = get_backend(args.backend, args.workers)
+    try:
+        return COMMANDS[args.command](args)
+    finally:
+        if args.exec_backend is not None:
+            args.exec_backend.close()
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ that gap is what the ``bench_ablation_occ_variants`` benchmark measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.evm.interpreter import EVM, ExecutionContext, InvalidTransaction, TxResult
 from repro.simcore.costmodel import CostModel

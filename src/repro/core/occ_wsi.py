@@ -130,6 +130,7 @@ class OCCWSIProposer:
         cost_model: Optional[CostModel] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ProposerConfig()
@@ -138,6 +139,10 @@ class OCCWSIProposer:
         #: the hot loop at one hoisted flag check per run.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: Optional real-parallelism backend (:mod:`repro.exec`).  ``None``
+        #: keeps the simulated-clock event loop below; a backend switches
+        #: :meth:`propose` to the deterministic wave driver on real cores.
+        self.backend = backend
 
     def propose(
         self,
@@ -146,6 +151,10 @@ class OCCWSIProposer:
         ctx: ExecutionContext,
     ) -> ProposalResult:
         """Run parallel block building until the gas limit or pool exhaustion."""
+        if self.backend is not None:
+            from repro.exec.proposing import propose_with_backend
+
+            return propose_with_backend(self, base, pool, ctx, self.backend)
         cfg = self.config
         model = self.cost_model
         tracer = self.tracer

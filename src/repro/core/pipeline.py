@@ -126,6 +126,7 @@ class ValidatorPipeline:
         injector: Optional[FaultInjector] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or PipelineConfig()
@@ -149,6 +150,7 @@ class ValidatorPipeline:
             cost_model=self.cost_model,
             injector=injector,
             metrics=metrics,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ #

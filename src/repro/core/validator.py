@@ -156,6 +156,7 @@ class ParallelValidator:
         injector: Optional[FaultInjector] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
@@ -167,6 +168,13 @@ class ParallelValidator:
         #: Span sink on the simulated clock (NullTracer default: free).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: Optional real-parallelism backend (:mod:`repro.exec`): components
+        #: execute on actual cores, all anomalies fall back to the serial
+        #: reference loop below so results stay backend-independent.
+        self.backend = backend
+        #: Cached per-session shared object for the backend (see
+        #: repro.exec.validating); typed wide so the exec island can swap it.
+        self._exec_shared: Optional[object] = None
 
     # ------------------------------------------------------------------ #
 
@@ -273,7 +281,29 @@ class ParallelValidator:
         worker_faults = 0
         retry_penalty = 0.0
         used_serial = False
-        while True:
+        outcome = None
+        if self.backend is not None:
+            from repro.exec.validating import execute_block_parallel
+
+            outcome = execute_block_parallel(self, block, parent_state, ctx, self.backend)
+        if outcome is not None:
+            # component-parallel execution on real cores succeeded; its merge
+            # is equivalent to the serial loop (account-disjoint components,
+            # commit order enforced in the parent), so everything downstream
+            # consumes it unchanged
+            db = outcome.db
+            tx_results = outcome.tx_results
+            tx_rwsets = outcome.tx_rwsets
+            tx_costs = [
+                model.tx_cost(result.trace) + stall
+                for result, stall in zip(tx_results, outcome.stalls)
+            ]
+            total_fees = outcome.total_fees
+            total_gas = outcome.total_gas
+            worker_faults = outcome.worker_faults
+            attempt = outcome.attempt
+            retry_penalty = outcome.retry_penalty
+        while outcome is None:
             db = StateDB(parent_state)
             tx_results: List[TxResult] = []
             tx_rwsets: List[ReadWriteSet] = []

@@ -9,7 +9,7 @@ contract bytecode inspectable.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.evm.opcodes import OPCODES
 

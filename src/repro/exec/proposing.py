@@ -1,0 +1,243 @@
+"""Wave-based OCC-WSI proposing on real execution backends.
+
+The simulated proposer (:mod:`repro.core.occ_wsi`) interleaves execution
+and commit on a discrete-event clock; on real cores the same interleaving
+would depend on OS scheduling and the block contents would differ run to
+run.  This driver restructures Algorithm 1 into deterministic **waves**:
+
+1. Pop up to ``config.lanes`` ready transactions (the *logical* wave
+   width — deliberately independent of ``backend.workers``, which is a
+   purely physical pool size, so every backend takes identical decisions).
+2. Snapshot the committed state once (``snapshot_version`` + the
+   committed-writes overlay) and execute the whole wave speculatively in
+   parallel — each task is a pure function of (base, overlay, tx, ctx).
+3. Back in the parent, walk the wave **in batch order** and apply
+   Algorithm 1's commit rule per transaction: drop invalid, abort on a
+   stale read (some earlier wave member wrote a key this one read —
+   first-committer-wins), else commit and advance the reserve table.
+
+Only intra-wave commits can conflict (the reserve table never exceeds the
+wave-start version otherwise) and the first valid wave member always
+commits, so the pool drains — same progress guarantee as the simulator.
+The result is bit-identical block contents, state roots and abort/commit
+decisions across serial, thread and process backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.evm.interpreter import ExecutionContext
+from repro.simcore.stats import RunStats
+from repro.state.access import StateKey
+from repro.state.statedb import StateSnapshot
+from repro.state.versioned import MultiVersionStore
+from repro.txpool.pool import TxPool
+from repro.txpool.transaction import Transaction
+
+from repro.exec.backend import ExecutionBackend
+from repro.exec.tasks import ProposeShared, ProposeTask, run_propose_task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.occ_wsi import OCCWSIProposer, ProposalResult
+
+__all__ = ["propose_with_backend"]
+
+
+def propose_with_backend(
+    proposer: "OCCWSIProposer",
+    base: StateSnapshot,
+    pool: TxPool,
+    ctx: ExecutionContext,
+    backend: ExecutionBackend,
+) -> "ProposalResult":
+    """Run one block-building session on a real backend.
+
+    Returns the same :class:`~repro.core.occ_wsi.ProposalResult` shape as
+    the simulated path; timing fields (``commit_time``, ``makespan``) are
+    real wall-clock microseconds instead of simulated ones.
+    """
+    from repro.core.occ_wsi import CommittedTx, ProposalResult
+
+    cfg = proposer.config
+    model = proposer.cost_model
+    tracer = proposer.tracer
+    trace_on = tracer.enabled
+    metrics = proposer.metrics
+
+    store = MultiVersionStore(base)
+    reserve: Dict[StateKey, int] = {}
+    committed: List[CommittedTx] = []
+    retry_counts: Dict[bytes, int] = {}
+
+    cur_gas = 0
+    total_fees = 0
+    invalid_dropped = 0
+    retries_exhausted = 0
+    aborts = 0
+    executions = 0
+    total_work = 0.0
+    waves = 0
+
+    def block_full() -> bool:
+        if cur_gas >= cfg.gas_limit:
+            return True
+        return cfg.max_txs is not None and len(committed) >= cfg.max_txs
+
+    shared = ProposeShared(evm_config=proposer.evm.config, base=base, ctx=ctx)
+    backend.open(shared)
+    wall0 = time.perf_counter()
+
+    def now_us() -> float:
+        return (time.perf_counter() - wall0) * 1e6
+
+    propose_scope = (
+        tracer.scope(
+            "propose", 0.0, lanes=cfg.lanes, backend=backend.name, workers=backend.workers
+        )
+        if trace_on
+        else None
+    )
+    if propose_scope is not None:
+        propose_scope.__enter__()
+
+    while not block_full():
+        # -- wave selection: logical width, backend-independent ---------- #
+        batch: List[Transaction] = []
+        while len(batch) < cfg.lanes:
+            tx = pool.pop_best()
+            if tx is None:
+                break
+            batch.append(tx)
+        if not batch:
+            break
+        waves += 1
+        snapshot_version = store.committed_version
+        overlay = store.final_values()
+        wave_start = now_us()
+
+        outs = backend.map(
+            run_propose_task,
+            [ProposeTask(tx, overlay, snapshot_version) for tx in batch],
+        )
+
+        # -- deterministic commit section (parent only, batch order) ----- #
+        for slot, (tx, out) in enumerate(zip(batch, outs)):
+            if out.invalid is not None:
+                pool.drop(tx)
+                invalid_dropped += 1
+                if trace_on:
+                    tracer.instant(
+                        "invalid_tx", wave_start, lane=slot, tx=tx.hash.hex()[:8]
+                    )
+                continue
+            executions += 1
+            cost = model.tx_cost(out.result.trace)
+            total_work += cost
+            if trace_on:
+                # workers report elapsed wall time; spans are placed at the
+                # wave start (process workers have no shared clock origin)
+                tracer.record(
+                    "execute",
+                    wave_start,
+                    wave_start + out.elapsed_us,
+                    lane=slot,
+                    tx=tx.hash.hex()[:8],
+                    snapshot=snapshot_version,
+                )
+            if block_full():
+                # block sealed earlier in this wave: speculative work is
+                # wasted, the transaction returns to the pool
+                pool.push_back(tx)
+                continue
+            conflict = any(
+                reserve.get(key, 0) > snapshot_version for key in out.rw.reads
+            )
+            if conflict:
+                aborts += 1
+                retry_counts[tx.hash] = retry_counts.get(tx.hash, 0) + 1
+                if trace_on:
+                    tracer.instant(
+                        "abort",
+                        now_us(),
+                        lane=slot,
+                        tx=tx.hash.hex()[:8],
+                        retries=retry_counts[tx.hash],
+                        snapshot=snapshot_version,
+                    )
+                if retry_counts[tx.hash] >= cfg.max_retries:
+                    pool.drop(tx)
+                    retries_exhausted += 1
+                else:
+                    pool.push_back(tx)
+                continue
+            commit_time = now_us()
+            version = store.committed_version + 1
+            store.apply(out.writes, version)
+            for key in out.rw.writes:
+                reserve[key] = version
+            committed.append(
+                CommittedTx(
+                    tx=tx,
+                    result=out.result,
+                    rw=out.rw,
+                    version=version,
+                    snapshot_version=snapshot_version,
+                    commit_time=commit_time,
+                    cost=cost,
+                )
+            )
+            cur_gas += out.result.gas_used
+            total_fees += out.result.fee
+            pool.mark_packed(tx)
+            if trace_on:
+                tracer.instant(
+                    "commit",
+                    commit_time,
+                    lane=slot,
+                    tx=tx.hash.hex()[:8],
+                    version=version,
+                )
+
+    makespan = now_us()
+    if propose_scope is not None:
+        propose_scope.span.end = makespan
+        propose_scope.span.attrs.update(
+            committed=len(committed), aborts=aborts, executions=executions, waves=waves
+        )
+        propose_scope.__exit__(None, None, None)
+
+    stats = RunStats(
+        makespan=makespan,
+        total_work=total_work,
+        lanes=cfg.lanes,
+        tasks=executions,
+        aborts=aborts,
+        extra={
+            "committed": len(committed),
+            "invalid_dropped": invalid_dropped,
+            "abort_rate": aborts / executions if executions else 0.0,
+            "backend": backend.name,
+            "backend_workers": backend.workers,
+            "waves": waves,
+        },
+    )
+    if metrics is not None:
+        metrics.counter("proposer.executions").inc(executions)
+        metrics.counter("proposer.aborts").inc(aborts)
+        metrics.counter("proposer.commits").inc(len(committed))
+        metrics.counter("proposer.invalid_dropped").inc(invalid_dropped)
+        metrics.counter("proposer.retries_exhausted").inc(retries_exhausted)
+        metrics.counter("proposer.waves").inc(waves)
+        metrics.gauge("proposer.wall_us").set(makespan)
+        metrics.merge_into(stats.extra)
+    return ProposalResult(
+        committed=committed,
+        stats=stats,
+        store=store,
+        base=base,
+        total_fees=total_fees,
+        invalid_dropped=invalid_dropped,
+        retries_exhausted=retries_exhausted,
+    )

@@ -1,0 +1,356 @@
+"""Worker-side task bodies for the real-parallelism backends.
+
+Everything here must be importable by name from a fresh process: the
+``ProcessBackend`` pickles functions *by reference* and payloads *by
+value*, so task functions are module-level, payloads are small NamedTuples
+of pickle-able pieces, and the EVM (whose dispatch table holds local
+closures and therefore cannot be pickled) is rebuilt inside each worker
+from its pickled :class:`~repro.evm.interpreter.EVMConfig` and cached per
+process.
+
+Two task families:
+
+* :func:`run_propose_task` — one speculative OCC-WSI execution: read the
+  base snapshot through the committed-writes overlay at the transaction's
+  snapshot version, buffer writes locally, return the rw-set and buffered
+  writes for the parent to conflict-check and commit deterministically.
+* :func:`run_validate_lane` — one validator worker lane: execute each
+  assigned dependency-graph component against an isolated view of the
+  parent state, guarded so any access outside the component's
+  profile-derived account footprint raises :class:`FootprintMiss` (the
+  signal that a lying profile broke component isolation and the block
+  must be re-executed serially).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
+
+from repro.common.types import Address
+from repro.evm.interpreter import (
+    EVM,
+    EVMConfig,
+    ExecutionContext,
+    InvalidTransaction,
+    TxResult,
+)
+from repro.state.access import ReadWriteSet, RecordingState, StateKey
+from repro.state.account import AccountData
+from repro.state.statedb import StateDB, StateSnapshot
+from repro.state.versioned import OCCStateView, read_base_value
+from repro.txpool.transaction import Transaction
+
+__all__ = [
+    "FootprintMiss",
+    "GuardedSnapshot",
+    "SliceSnapshot",
+    "build_state_slice",
+    "export_overlay",
+    "apply_overlay",
+    "ProposeShared",
+    "ProposeTask",
+    "ProposeTaskResult",
+    "run_propose_task",
+    "ValidateShared",
+    "ComponentTask",
+    "ComponentOutcome",
+    "run_validate_lane",
+    "install_shared",
+    "call_with_shared",
+]
+
+
+class FootprintMiss(Exception):
+    """A worker touched state outside its component's declared footprint.
+
+    Deliberately **not** a ``ValueError``/``MemoryError`` subclass: the EVM
+    frame loop swallows those as in-frame failures, and this condition must
+    instead abort the whole parallel attempt (the profile lied about the
+    component partition, so component-isolated execution is no longer
+    equivalent to block-order serial execution).
+    """
+
+    def __init__(self, address: Address) -> None:
+        super().__init__(f"access outside component footprint: {address.hex()}")
+        self.address = address
+
+
+class GuardedSnapshot:
+    """Read-only snapshot view restricted to an account footprint.
+
+    Used by the in-memory backends (serial/thread): workers share the one
+    parent :class:`StateSnapshot`, and the guard turns any access that
+    would break component isolation into a :class:`FootprintMiss`.
+    """
+
+    __slots__ = ("_base", "_allowed")
+
+    def __init__(self, base: StateSnapshot, allowed: FrozenSet[Address]) -> None:
+        self._base = base
+        self._allowed = allowed
+
+    def account(self, address: Address) -> Optional[AccountData]:
+        if address not in self._allowed:
+            raise FootprintMiss(address)
+        return self._base.account(address)
+
+
+class SliceSnapshot:
+    """Pickle-able state slice for process workers.
+
+    Holds exactly the accounts named by the component's profile footprint
+    (present-but-``None`` marks an account that does not exist in the
+    parent state); anything else raises :class:`FootprintMiss`, mirroring
+    :class:`GuardedSnapshot` semantics across the pickling boundary.
+    """
+
+    __slots__ = ("_accounts",)
+
+    def __init__(self, accounts: Dict[Address, Optional[AccountData]]) -> None:
+        self._accounts = accounts
+
+    def account(self, address: Address) -> Optional[AccountData]:
+        try:
+            return self._accounts[address]
+        except KeyError:
+            raise FootprintMiss(address) from None
+
+
+def build_state_slice(
+    base: StateSnapshot, addresses: FrozenSet[Address]
+) -> Dict[Address, Optional[AccountData]]:
+    """Extract the pickle-able per-component account slice from a snapshot."""
+    return {address: base.account(address) for address in sorted(addresses)}
+
+
+# --------------------------------------------------------------------- #
+# StateDB overlay transport (validator merge path)                      #
+# --------------------------------------------------------------------- #
+
+#: ``(exists, nonce, balance, code, changed_storage)`` per dirty account.
+OverlayEntry = Tuple[bool, int, int, bytes, Dict[int, int]]
+
+
+def export_overlay(db: StateDB) -> Dict[Address, OverlayEntry]:
+    """Flatten a StateDB's dirty accounts into a pickle-able mapping."""
+    out: Dict[Address, OverlayEntry] = {}
+    for address, ov in db._overlays.items():
+        out[address] = (ov.exists, ov.nonce, ov.balance, ov.code, dict(ov.storage))
+    return out
+
+
+def apply_overlay(db: StateDB, overlay: Dict[Address, OverlayEntry]) -> None:
+    """Replay an exported overlay onto another StateDB.
+
+    Components are account-disjoint, so replaying each component's final
+    per-account values (in any order) reproduces exactly the overlay the
+    block-order serial loop would have built.
+    """
+    for address, (exists, nonce, balance, code, storage) in overlay.items():
+        if not exists:
+            continue  # touched (read) but never written: no state change
+        db.create_account(address)
+        db.set_nonce(address, nonce)
+        db.set_balance(address, balance)
+        db.set_code(address, code)
+        for slot, value in storage.items():
+            db.set_storage(address, slot, value)
+
+
+# --------------------------------------------------------------------- #
+# per-process EVM cache                                                 #
+# --------------------------------------------------------------------- #
+
+_EVM_CACHE: List[Any] = [None, None]  # [config identity, EVM instance]
+
+
+def _evm_for(config: Optional[EVMConfig]) -> EVM:
+    """EVM for this worker, rebuilt only when the config object changes.
+
+    Identity-keyed: the shared object (and thus its config) is stable for
+    the lifetime of a backend session, so each worker builds one EVM.  The
+    EVM is stateless across transactions (config + dispatch table only),
+    which also makes one instance safe to share between threads.
+    """
+    if _EVM_CACHE[0] is config:
+        return _EVM_CACHE[1]
+    evm = EVM(config)
+    _EVM_CACHE[0] = config
+    _EVM_CACHE[1] = evm
+    return evm
+
+
+# --------------------------------------------------------------------- #
+# process-pool shared-state plumbing                                    #
+# --------------------------------------------------------------------- #
+
+_PROCESS_SHARED: Any = None
+
+
+def install_shared(shared: Any) -> None:
+    """Pool initializer: stash the session's shared object in this worker."""
+    global _PROCESS_SHARED
+    _PROCESS_SHARED = shared
+
+
+def call_with_shared(fn: Callable[[Any, Any], Any], payload: Any) -> Any:
+    """Trampoline run inside process workers: inject the installed shared."""
+    return fn(_PROCESS_SHARED, payload)
+
+
+# --------------------------------------------------------------------- #
+# proposer tasks (OCC-WSI speculative execution)                        #
+# --------------------------------------------------------------------- #
+
+
+class ProposeShared(NamedTuple):
+    """Per-proposal session state, shipped once per worker.
+
+    The base snapshot rides here (not in payloads) — for the process
+    backend that is the one big pickle, paid per worker per block.
+    """
+
+    evm_config: Optional[EVMConfig]
+    base: StateSnapshot
+    ctx: ExecutionContext
+
+
+class ProposeTask(NamedTuple):
+    """One speculative execution: a transaction plus its read snapshot."""
+
+    tx: Transaction
+    #: Latest committed value per written key as of the wave start —
+    #: exactly ``MultiVersionStore.final_values()`` at ``snapshot_version``.
+    overlay: Dict[StateKey, Any]
+    snapshot_version: int
+
+
+class ProposeTaskResult(NamedTuple):
+    """What the parent needs to conflict-check and commit one execution."""
+
+    invalid: Optional[str]
+    result: Optional[TxResult]
+    rw: Optional[ReadWriteSet]
+    writes: Dict[StateKey, Any]
+    elapsed_us: float
+
+
+class _WaveOverlayStore:
+    """Duck-typed ``MultiVersionStore`` over (base snapshot, overlay dict).
+
+    The wave driver snapshots the committed writes *once* per wave; every
+    worker of the wave reads through the same immutable overlay, so all
+    backends observe the identical snapshot regardless of scheduling.
+    """
+
+    __slots__ = ("_base", "_overlay")
+
+    def __init__(self, base: StateSnapshot, overlay: Dict[StateKey, Any]) -> None:
+        self._base = base
+        self._overlay = overlay
+
+    def read_at(self, key: StateKey, version: int) -> Any:
+        if key in self._overlay:
+            return self._overlay[key]
+        return read_base_value(self._base, key)
+
+
+def run_propose_task(shared: ProposeShared, task: ProposeTask) -> ProposeTaskResult:
+    """Execute one transaction speculatively against the wave snapshot."""
+    evm = _evm_for(shared.evm_config)
+    store = _WaveOverlayStore(shared.base, task.overlay)
+    view = OCCStateView(store, task.snapshot_version)
+    rec = RecordingState(view, version=task.snapshot_version)
+    start = time.perf_counter()
+    try:
+        result = evm.apply_transaction(rec, task.tx, shared.ctx)
+    except InvalidTransaction as exc:
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        return ProposeTaskResult(str(exc), None, None, {}, elapsed_us)
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    return ProposeTaskResult(None, result, rec.rw, view.buffered_writes, elapsed_us)
+
+
+# --------------------------------------------------------------------- #
+# validator tasks (component execution)                                 #
+# --------------------------------------------------------------------- #
+
+
+class ValidateShared(NamedTuple):
+    """Validator session state: stable across blocks, so the process pool
+    survives a whole pipeline run (only the EVM config crosses once)."""
+
+    evm_config: Optional[EVMConfig]
+
+
+class ComponentTask(NamedTuple):
+    """One dependency-graph component, self-contained for any backend."""
+
+    component: int
+    tx_indices: Tuple[int, ...]
+    txs: Tuple[Transaction, ...]
+    ctx: ExecutionContext
+    #: account footprint (in-memory backends guard the shared snapshot)
+    allowed: FrozenSet[Address]
+    #: in-memory backends: the parent snapshot by reference; process
+    #: workers get ``None`` here and read ``slice_accounts`` instead
+    base: Optional[StateSnapshot]
+    #: pickle-able account slice (process backend only)
+    slice_accounts: Optional[Dict[Address, Optional[AccountData]]]
+
+
+class ComponentOutcome(NamedTuple):
+    """Result of executing one component in isolation."""
+
+    component: int
+    #: ``None`` on success; ``("invalid"|"footprint_miss", detail)`` when
+    #: the attempt must fall back to the serial reference path
+    anomaly: Optional[Tuple[str, str]]
+    results: Tuple[TxResult, ...]
+    rwsets: Tuple[ReadWriteSet, ...]
+    overlay: Dict[Address, OverlayEntry]
+    elapsed_us: float
+
+
+def _run_component(evm: EVM, task: ComponentTask) -> ComponentOutcome:
+    if task.base is not None:
+        base: Any = GuardedSnapshot(task.base, task.allowed)
+    else:
+        base = SliceSnapshot(task.slice_accounts or {})
+    db = StateDB(base)
+    results: List[TxResult] = []
+    rwsets: List[ReadWriteSet] = []
+    start = time.perf_counter()
+    try:
+        for tx in task.txs:
+            rec = RecordingState(db)
+            results.append(evm.apply_transaction(rec, tx, task.ctx))
+            rwsets.append(rec.rw)
+    except InvalidTransaction as exc:
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        return ComponentOutcome(
+            task.component, ("invalid", str(exc)), (), (), {}, elapsed_us
+        )
+    except FootprintMiss as exc:
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        return ComponentOutcome(
+            task.component, ("footprint_miss", str(exc)), (), (), {}, elapsed_us
+        )
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    return ComponentOutcome(
+        task.component,
+        None,
+        tuple(results),
+        tuple(rwsets),
+        export_overlay(db),
+        elapsed_us,
+    )
+
+
+def run_validate_lane(
+    shared: ValidateShared, lane: Tuple[ComponentTask, ...]
+) -> Tuple[ComponentOutcome, ...]:
+    """Execute one worker lane's components sequentially (gas-LPT batch)."""
+    evm = _evm_for(shared.evm_config)
+    return tuple(_run_component(evm, task) for task in lane)

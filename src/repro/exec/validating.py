@@ -1,0 +1,255 @@
+"""Component-parallel block validation on real execution backends.
+
+The validator's dependency graph (§4.3) partitions a block into
+account-disjoint connected components; inside a component transactions
+run serially in block order, across components nothing is shared.  That
+makes each component an independently submittable unit: executing every
+component against an isolated view of the parent state and merging the
+(disjoint) write overlays reproduces exactly the state of the block-order
+serial loop — the commit order is enforced at the applier/merge step in
+the parent, not by the workers.
+
+The partition comes from the **block profile**, which a byzantine
+proposer can fake.  Every component view is therefore guarded: a read or
+write outside the component's profile-derived account footprint raises
+:class:`~repro.exec.tasks.FootprintMiss`, the parallel attempt is
+discarded, and the caller falls back to the authoritative serial
+reference loop (same funnel as ``InvalidTransaction``).  Anomalies,
+injected worker faults that exhaust retries, missing profiles and
+non-account conflict granularity all take that same fallback — which is
+what keeps the three backends (and the simulator) byte-identical on every
+input, honest or hostile.
+
+Fault injection composes deterministically: the injector's keyed RNG is
+call-order-free, so crash/stall decisions are precomputed per attempt in
+block order — identical to the serial loop's interleaved consults.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.core.depgraph import build_dependency_graph
+from repro.core.scheduler import schedule_components
+from repro.evm.interpreter import ExecutionContext, TxResult
+from repro.state.access import ReadWriteSet
+from repro.state.statedb import StateDB, StateSnapshot
+
+from repro.exec.backend import ExecutionBackend
+from repro.exec.tasks import (
+    ComponentOutcome,
+    ComponentTask,
+    ValidateShared,
+    apply_overlay,
+    build_state_slice,
+    run_validate_lane,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.validator import ParallelValidator
+
+__all__ = ["ParallelExecOutcome", "execute_block_parallel"]
+
+
+@dataclass
+class ParallelExecOutcome:
+    """Everything the serial reference loop would have produced.
+
+    ``validate_block`` consumes this in place of its inline re-execution
+    loop; all downstream phases (storage model, Algorithm 2, state root,
+    timing simulation) run unchanged.
+    """
+
+    db: StateDB
+    tx_results: List[TxResult]
+    tx_rwsets: List[ReadWriteSet]
+    stalls: List[float]
+    total_fees: int
+    total_gas: int
+    worker_faults: int
+    attempt: int
+    retry_penalty: float
+    wall_us: float
+
+
+def execute_block_parallel(
+    validator: "ParallelValidator",
+    block: Block,
+    parent_state: StateSnapshot,
+    ctx: ExecutionContext,
+    backend: ExecutionBackend,
+) -> Optional[ParallelExecOutcome]:
+    """Execute one block's transactions component-parallel on ``backend``.
+
+    Returns ``None`` whenever the parallel path cannot guarantee
+    equivalence with the serial reference loop — the caller then runs the
+    inline loop, whose decisions are deterministic and injector-keyed, so
+    every backend (and the simulator) converges on the identical result.
+    """
+    profile = block.profile
+    n = len(block.transactions)
+    if n == 0 or profile is None or len(profile.entries) != n:
+        return None
+    if validator.config.granularity != "account":
+        # key-granular components may share accounts; component isolation
+        # is only sound for the account-level partition the paper uses
+        return None
+
+    model = validator.cost_model
+    consult = (
+        validator.injector
+        if validator.injector is not None
+        and validator.injector.injects_execution_faults
+        else None
+    )
+
+    # ----- fault pre-pass: replay the retry ladder without executing ----- #
+    # The keyed RNG makes consult calls order-free, so the first crash per
+    # attempt (in block order) matches what the serial loop would observe.
+    attempt = 0
+    worker_faults = 0
+    retry_penalty = 0.0
+    stalls = [0.0] * n
+    if consult is not None:
+        while True:
+            crashed = any(
+                consult.execution_fault(block.hash, attempt, index).crash
+                for index in range(n)
+            )
+            if not crashed:
+                break
+            worker_faults += 1
+            if validator.metrics is not None:
+                validator.metrics.counter("validator.worker_faults").inc()
+            retry_penalty += model.abort_overhead + model.retry_backoff * (2**attempt)
+            if attempt < validator.config.max_parallel_retries:
+                attempt += 1
+                continue
+            # retries exhausted: rejection or serial degradation — either
+            # way the reference loop owns the decision
+            return None
+        stalls = [
+            consult.execution_fault(block.hash, attempt, index).stall_us
+            for index in range(n)
+        ]
+
+    # ----- partition from the (unverified) profile ----------------------- #
+    footprints = [entry.rw.touched_addresses() for entry in profile.entries]
+    gas_estimates = [entry.gas_used for entry in profile.entries]
+    graph = build_dependency_graph(footprints, gas_estimates)
+    plan = schedule_components(
+        graph, max(1, backend.workers), validator.config.policy, validator.config.seed
+    )
+
+    component_addresses = [
+        frozenset().union(*(footprints[i] for i in component))
+        for component in graph.components
+    ]
+
+    shared = getattr(validator, "_exec_shared", None)
+    if shared is None or shared.evm_config is not validator.evm.config:
+        shared = ValidateShared(evm_config=validator.evm.config)
+        validator._exec_shared = shared
+    backend.open(shared)
+
+    lane_payloads: List[Tuple[ComponentTask, ...]] = []
+    for lane_components in plan.lane_components:
+        if not lane_components:
+            continue
+        lane: List[ComponentTask] = []
+        for comp in lane_components:
+            tx_indices = graph.components[comp]
+            allowed = component_addresses[comp]
+            lane.append(
+                ComponentTask(
+                    component=comp,
+                    tx_indices=tx_indices,
+                    txs=tuple(block.transactions[i] for i in tx_indices),
+                    ctx=ctx,
+                    allowed=allowed,
+                    base=parent_state if backend.shares_memory else None,
+                    slice_accounts=(
+                        None
+                        if backend.shares_memory
+                        else build_state_slice(parent_state, allowed)
+                    ),
+                )
+            )
+        lane_payloads.append(tuple(lane))
+
+    wall0 = time.perf_counter()
+    lane_outcomes = backend.map(run_validate_lane, lane_payloads)
+    wall_us = (time.perf_counter() - wall0) * 1e6
+
+    outcomes: Dict[int, ComponentOutcome] = {}
+    for lane_result in lane_outcomes:
+        for outcome in lane_result:
+            if outcome.anomaly is not None:
+                # lying profile (footprint miss) or an invalid transaction:
+                # discard the attempt, let the serial reference loop decide
+                if validator.metrics is not None:
+                    validator.metrics.counter(
+                        f"validator.backend_{outcome.anomaly[0]}"
+                    ).inc()
+                return None
+            outcomes[outcome.component] = outcome
+
+    # ----- merge: commit order enforced here, in the parent -------------- #
+    db = StateDB(parent_state)
+    by_index: Dict[int, Tuple[TxResult, ReadWriteSet]] = {}
+    for comp_index in range(len(graph.components)):
+        outcome = outcomes[comp_index]
+        apply_overlay(db, outcome.overlay)
+        for position, tx_index in enumerate(graph.components[comp_index]):
+            by_index[tx_index] = (outcome.results[position], outcome.rwsets[position])
+
+    tx_results = [by_index[i][0] for i in range(n)]
+    tx_rwsets = [by_index[i][1] for i in range(n)]
+    total_fees = sum(result.fee for result in tx_results)
+    total_gas = sum(result.gas_used for result in tx_results)
+
+    tracer = validator.tracer
+    if tracer.enabled:
+        with tracer.scope(
+            "backend_execute",
+            0.0,
+            wall_us,
+            block=block.hash.hex()[:8],
+            backend=backend.name,
+            workers=backend.workers,
+            components=len(graph.components),
+        ):
+            for lane_index, lane_result in enumerate(lane_outcomes):
+                cursor = 0.0
+                for outcome in lane_result:
+                    tracer.record(
+                        "exec_component",
+                        cursor,
+                        cursor + outcome.elapsed_us,
+                        lane=lane_index,
+                        component=outcome.component,
+                        txs=len(outcome.results),
+                    )
+                    cursor += outcome.elapsed_us
+    if validator.metrics is not None:
+        validator.metrics.counter("validator.backend_blocks").inc()
+        validator.metrics.counter("validator.backend_components").inc(
+            len(graph.components)
+        )
+        validator.metrics.gauge("validator.backend_wall_us").set(wall_us)
+
+    return ParallelExecOutcome(
+        db=db,
+        tx_results=tx_results,
+        tx_rwsets=tx_rwsets,
+        stalls=stalls,
+        total_fees=total_fees,
+        total_gas=total_gas,
+        worker_faults=worker_faults,
+        attempt=attempt,
+        retry_penalty=retry_penalty,
+        wall_us=wall_us,
+    )

@@ -39,6 +39,7 @@ class ProposerNode:
         params: ChainParams = DEFAULT_CHAIN_PARAMS,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ) -> None:
         self.node_id = node_id
         self.params = params
@@ -55,6 +56,7 @@ class ProposerNode:
             cost_model=cost_model,
             tracer=self.tracer,
             metrics=metrics,
+            backend=backend,
         )
 
     def build_block(
@@ -139,6 +141,7 @@ class ValidatorNode:
         txpool: Optional[TxPool] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ) -> None:
         self.node_id = node_id
         self.chain = Blockchain(genesis_state)
@@ -151,6 +154,7 @@ class ValidatorNode:
             injector=injector,
             tracer=self.tracer,
             metrics=metrics,
+            backend=backend,
         )
         self.quarantine_threshold = quarantine_threshold
         self.txpool = txpool

@@ -17,7 +17,7 @@ slot.  Account-level conflict grouping (used by the validator's scheduler,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, NamedTuple, Optional
+from typing import Dict, FrozenSet, NamedTuple, Optional
 
 from repro.common.types import Address
 

@@ -17,7 +17,7 @@ call frames roll the buffer back.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.common.types import Address
 from repro.state.access import (
@@ -29,11 +29,32 @@ from repro.state.access import (
 )
 from repro.state.statedb import StateSnapshot
 
-__all__ = ["MultiVersionStore", "OCCStateView", "OCCConflict"]
+__all__ = ["MultiVersionStore", "OCCStateView", "OCCConflict", "read_base_value"]
 
 
 class OCCConflict(Exception):
     """Raised when OCC-WSI validation rejects a commit (stale read)."""
+
+
+def read_base_value(base: StateSnapshot, key: StateKey) -> Any:
+    """Value of ``key`` in a committed snapshot (version-0 fallback).
+
+    Shared by :class:`MultiVersionStore` and the overlay stores the real
+    execution backends (:mod:`repro.exec`) build for worker tasks — any
+    object exposing ``account(address)`` works as ``base``.
+    """
+    acct = base.account(key.address)
+    if key.kind == "balance":
+        return acct.balance if acct else 0
+    if key.kind == "nonce":
+        return acct.nonce if acct else 0
+    if key.kind == "code":
+        return acct.code if acct else b""
+    if key.kind == "storage":
+        if acct is None:
+            return 0
+        return acct.storage.get(key.slot, 0)
+    raise ValueError(f"unknown key kind {key.kind!r}")
 
 
 class MultiVersionStore:
@@ -53,18 +74,7 @@ class MultiVersionStore:
     # ------------------------------------------------------------------ #
 
     def _base_value(self, key: StateKey) -> Any:
-        acct = self.base.account(key.address)
-        if key.kind == "balance":
-            return acct.balance if acct else 0
-        if key.kind == "nonce":
-            return acct.nonce if acct else 0
-        if key.kind == "code":
-            return acct.code if acct else b""
-        if key.kind == "storage":
-            if acct is None:
-                return 0
-            return acct.storage.get(key.slot, 0)
-        raise ValueError(f"unknown key kind {key.kind!r}")
+        return read_base_value(self.base, key)
 
     def read_at(self, key: StateKey, version: int) -> Any:
         """Value of ``key`` as of snapshot ``version``."""

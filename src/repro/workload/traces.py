@@ -15,7 +15,7 @@ recorded trace through the proposer and comparing state roots.
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.common.types import Address
 from repro.txpool.transaction import Transaction

@@ -50,7 +50,6 @@ class TestSerialExecutor:
         assert len(pool) == 0
 
     def test_propose_serial_respects_gas_price_priority(self, small_universe):
-        from repro.common.types import Address
         from repro.txpool.transaction import Transaction
 
         eoas = small_universe.eoas

@@ -1,6 +1,5 @@
 """Tests for the deterministic round-based OCC comparator."""
 
-import pytest
 
 from repro.common.types import Address
 from repro.core.batchocc import BatchOCCConfig, BatchOCCProposer

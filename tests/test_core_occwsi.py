@@ -6,7 +6,6 @@ state reproduces exactly the state OCC-WSI materialises — i.e. the
 parallel schedule is serializable and the block order is its witness.
 """
 
-import pytest
 
 from repro.common.types import Address
 from repro.core.baselines import SerialExecutor

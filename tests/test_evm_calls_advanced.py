@@ -1,6 +1,5 @@
 """Advanced call semantics: DELEGATECALL, reentrancy, stipends, depth."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """CREATE2 (EIP-1014) tests: salted, counterfactual contract addresses."""
 
-import pytest
 
 from repro.common.hashing import keccak
 from repro.common.types import Address

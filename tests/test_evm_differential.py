@@ -1,7 +1,6 @@
 """Differential testing: random operands through real bytecode vs a Python
 reference model of the yellow-paper semantics."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

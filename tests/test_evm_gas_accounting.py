@@ -1,6 +1,5 @@
 """Fine-grained gas accounting tests: exact charges per operation."""
 
-import pytest
 
 from repro.evm.asm import asm
 from repro.evm.gas import DEFAULT_GAS_SCHEDULE as G

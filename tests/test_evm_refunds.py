@@ -1,6 +1,5 @@
 """SSTORE clearing-refund tests (journaled across call frames)."""
 
-import pytest
 
 from repro.evm.asm import asm
 from repro.evm.gas import DEFAULT_GAS_SCHEDULE as G

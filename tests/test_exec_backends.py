@@ -1,0 +1,145 @@
+"""Unit tests for the real-parallelism backend layer (repro.exec)."""
+
+import pytest
+
+from repro.__main__ import build_parser
+from repro.common.types import Address
+from repro.exec import (
+    BACKEND_CHOICES,
+    FootprintMiss,
+    GuardedSnapshot,
+    ProcessBackend,
+    SerialBackend,
+    SliceSnapshot,
+    ThreadBackend,
+    get_backend,
+)
+from repro.exec.tasks import build_state_slice
+
+
+def _double(shared, payload):
+    """Module-level so the process pool can pickle it by reference."""
+    return (shared, payload * 2)
+
+
+class TestFactory:
+    def test_sim_and_none_select_the_simulator(self):
+        assert get_backend(None) is None
+        assert get_backend("sim") is None
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("serial", SerialBackend), ("thread", ThreadBackend), ("process", ProcessBackend)],
+    )
+    def test_real_backends(self, name, cls):
+        backend = get_backend(name, workers=2)
+        assert isinstance(backend, cls)
+        assert backend.name == name
+        backend.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+
+    def test_choices_cover_factory(self):
+        assert set(BACKEND_CHOICES) == {"sim", "serial", "thread", "process"}
+
+    def test_serial_is_single_worker(self):
+        assert SerialBackend(workers=8).workers == 1
+
+
+class TestMapContract:
+    @pytest.mark.parametrize("factory", [SerialBackend, lambda: ThreadBackend(3)])
+    def test_in_memory_map_order_and_shared(self, factory):
+        with factory() as backend:
+            backend.open("session")
+            out = backend.map(_double, list(range(20)))
+        assert out == [("session", i * 2) for i in range(20)]
+
+    def test_process_map_order_and_shared(self):
+        with ProcessBackend(workers=2) as backend:
+            backend.open({"k": 7})
+            out = backend.map(_double, list(range(8)))
+        assert out == [({"k": 7}, i * 2) for i in range(8)]
+
+    def test_process_map_requires_open(self):
+        backend = ProcessBackend(workers=1)
+        with pytest.raises(RuntimeError, match="before open"):
+            backend.map(_double, [1])
+
+    def test_process_reopen_same_shared_is_idempotent(self):
+        backend = ProcessBackend(workers=1)
+        try:
+            shared = ("stable",)
+            backend.open(shared)
+            pool = backend._pool
+            backend.open(shared)
+            assert backend._pool is pool  # same identity: no pool churn
+            backend.open(("different",))
+            assert backend._pool is not pool  # new shared: fresh workers
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self):
+        backend = ThreadBackend(workers=1)
+        backend.open(None)
+        backend.map(_double, [1])
+        backend.close()
+        backend.close()
+
+
+class _FakeSnapshot:
+    def __init__(self, accounts):
+        self._accounts = accounts
+
+    def account(self, address):
+        return self._accounts.get(address)
+
+
+class TestFootprintGuards:
+    A = Address(b"\xaa" * 20)
+    B = Address(b"\xbb" * 20)
+
+    def test_guarded_snapshot_allows_footprint(self):
+        base = _FakeSnapshot({self.A: "acct-a"})
+        view = GuardedSnapshot(base, frozenset([self.A]))
+        assert view.account(self.A) == "acct-a"
+
+    def test_guarded_snapshot_rejects_outside_footprint(self):
+        view = GuardedSnapshot(_FakeSnapshot({}), frozenset([self.A]))
+        with pytest.raises(FootprintMiss) as exc:
+            view.account(self.B)
+        assert exc.value.address == self.B
+
+    def test_slice_snapshot_mirrors_guard_semantics(self):
+        base = _FakeSnapshot({self.A: "acct-a"})
+        view = SliceSnapshot(build_state_slice(base, frozenset([self.A])))
+        assert view.account(self.A) == "acct-a"
+        with pytest.raises(FootprintMiss):
+            view.account(self.B)
+
+    def test_footprint_miss_not_swallowed_by_evm_frames(self):
+        # the EVM frame loop catches ValueError/MemoryError as in-frame
+        # failures; a footprint miss must escape to abort the whole attempt
+        assert not issubclass(FootprintMiss, ValueError)
+        assert not issubclass(FootprintMiss, MemoryError)
+
+
+class TestCliSurface:
+    def test_backend_flag_defaults_to_sim(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.backend == "sim"
+        assert args.workers is None
+
+    def test_backend_flag_accepts_all_choices(self):
+        for name in BACKEND_CHOICES:
+            args = build_parser().parse_args(["--backend", name, "demo"])
+            assert args.backend == name
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu", "demo"])
+
+    def test_workers_flag(self):
+        args = build_parser().parse_args(["--backend", "process", "--workers", "3", "demo"])
+        assert args.workers == 3

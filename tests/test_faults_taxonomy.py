@@ -8,6 +8,8 @@ is the executable proof, and these tests pin it.
 
 import pytest
 
+pytestmark = pytest.mark.faults
+
 from repro.faults.errors import BYZANTINE_REASONS, FailureReason, ValidationFailure
 from repro.faults.scenarios import (
     SCENARIO_FOR_REASON,

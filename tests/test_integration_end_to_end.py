@@ -5,7 +5,6 @@ with forks, every execution mode (serial, OCC-WSI proposer, BlockPilot
 validator, two-phase OCC) must agree on every state root.
 """
 
-import pytest
 
 from repro.core.baselines import SerialExecutor, TwoPhaseOCCExecutor
 from repro.core.validator import ParallelValidator

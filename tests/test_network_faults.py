@@ -8,6 +8,8 @@ delivery eventual), and every run replays bit-identically from its seed.
 
 import pytest
 
+pytestmark = pytest.mark.faults
+
 from repro.core.pipeline import PipelineConfig
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.faults.scenarios import build_env

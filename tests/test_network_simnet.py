@@ -1,6 +1,5 @@
 """Whole-network simulation tests."""
 
-import pytest
 
 from repro.network.simnet import NetworkConfig, NetworkSimulation
 from repro.workload.generator import WorkloadConfig

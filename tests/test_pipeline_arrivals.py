@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import PipelineConfig, ValidatorPipeline
+from repro.core.pipeline import ValidatorPipeline
 from repro.network.dissemination import ForkSimulator
 from repro.network.node import ProposerNode, ValidatorNode
 

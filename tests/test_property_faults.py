@@ -11,6 +11,8 @@ any seed:
 """
 
 import pytest
+
+pytestmark = pytest.mark.faults
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

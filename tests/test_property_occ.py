@@ -7,7 +7,6 @@ seal → validate loop; hypothesis shrinks any violating schedule.
 
 import dataclasses
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

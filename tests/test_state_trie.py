@@ -1,6 +1,5 @@
 """Merkle-Patricia trie tests: semantics, structural sharing, root properties."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

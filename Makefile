@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults lint typecheck coverage bench bench-json bench-compare trace-demo examples clean
+.PHONY: install test test-fast test-faults lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -38,7 +38,13 @@ bench-json:
 		benchmarks/bench_fig7a_scalability.py \
 		benchmarks/bench_fig9_multiblock.py \
 		benchmarks/bench_obs_overhead.py \
-		benchmarks/bench_wallclock_backends.py -q
+		benchmarks/bench_wallclock_backends.py \
+		benchmarks/bench_hotpath.py -q
+
+# hot-path cache/index microbenches only (ISSUE 4): deterministic op-count
+# speedups for the txpool index, batched commit, and artifact reuse
+bench-hotpath:
+	$(PYTHON) -m pytest benchmarks/bench_hotpath.py -q
 
 # regression gate: emit fresh sim-deterministic baselines into a scratch dir
 # (REPRO_BENCH_BLOCKS=4 matches how the committed goldens were generated)
@@ -47,10 +53,11 @@ bench-compare:
 	REPRO_RESULTS_DIR=benchmarks/results/.fresh REPRO_BENCH_BLOCKS=4 \
 		$(PYTHON) -m pytest benchmarks/bench_fig6_proposer.py \
 		benchmarks/bench_fig7a_scalability.py \
-		benchmarks/bench_fig9_multiblock.py -q
+		benchmarks/bench_fig9_multiblock.py \
+		benchmarks/bench_hotpath.py -q
 	$(PYTHON) -m repro.obs.baseline \
 		--old-dir benchmarks/results --new-dir benchmarks/results/.fresh \
-		--names fig6_proposer fig7a_scalability fig9_multiblock
+		--names fig6_proposer fig7a_scalability fig9_multiblock hotpath
 
 trace-demo:
 	$(PYTHON) -m repro --txs-per-block 60 trace --scenario round --rounds 2 \

@@ -354,6 +354,13 @@ class OCCWSIProposer:
             for count in retry_counts.values():
                 retry_hist.observe(count)
             metrics.gauge("proposer.makespan_us").set(last_commit_end)
+            # NOTE: the global keccak memo is deliberately NOT published
+            # here — it persists across runs, so its cumulative counters
+            # would break metrics-replay determinism.  Use
+            # repro.state.cache.keccak_cache_stats() for ad-hoc inspection.
+            base_stats = store.base_cache.stats
+            metrics.counter("state.base_cache.hits").inc(base_stats.hits)
+            metrics.counter("state.base_cache.misses").inc(base_stats.misses)
             metrics.merge_into(stats.extra)
         return ProposalResult(
             committed=committed,

@@ -31,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.chain.block import Block
 from repro.common.hashing import Hash32
+from repro.core.artifacts import ArtifactCache
 from repro.core.validator import ParallelValidator, ValidationResult, ValidatorConfig
 from repro.evm.interpreter import EVM, ExecutionContext
 from repro.faults.errors import FailureReason, ValidationFailure
@@ -136,6 +137,10 @@ class ValidatorPipeline:
         #: the metrics registry (counters accumulate) but not the tracer.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: Shared preparation-artifact cache: the exec backend and the
+        #: validator's preparation phase both consume one derivation per
+        #: block, and losing fork siblings are invalidated on commit.
+        self.artifacts = ArtifactCache(metrics=metrics)
         self._validator = ParallelValidator(
             evm=self.evm,
             config=ValidatorConfig(
@@ -151,6 +156,7 @@ class ValidatorPipeline:
             injector=injector,
             metrics=metrics,
             backend=backend,
+            artifacts=self.artifacts,
         )
 
     # ------------------------------------------------------------------ #
@@ -202,6 +208,7 @@ class ValidatorPipeline:
                 # a sibling already committed at this height: abandon the
                 # in-flight fork block instead of burning lanes on it
                 results[i] = _abandoned_sibling(block)
+                self.artifacts.invalidate(block.hash)
                 continue
             if p is not None:
                 parent_result = results[p]
@@ -217,6 +224,13 @@ class ValidatorPipeline:
             results[i] = self._validator.validate_block(block, parent_state, ctx)  # ctx=None derives from each header
             if results[i].accepted:
                 committed_heights.add(block.header.number)
+                # fork divergence: artifacts of losing siblings at this
+                # height can never be consulted again — drop them
+                self.artifacts.invalidate_siblings(
+                    block.header.number, block.hash
+                )
+            else:
+                self.artifacts.invalidate(block.hash)
 
         # ---- timing simulation over the shared worker pool ---------------- #
         timings, switches, pool = self._simulate(

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 from repro.chain.block import Block, Receipt
 from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
 from repro.core.applier import Applier, ProfileMismatch
+from repro.core.artifacts import ArtifactCache
 from repro.core.depgraph import DependencyGraph, build_dependency_graph
 from repro.core.proposer import finalize_block_state
 from repro.core.scheduler import SchedulePlan, schedule_components
@@ -157,6 +158,7 @@ class ParallelValidator:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
+        artifacts: Optional[ArtifactCache] = None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
@@ -175,6 +177,11 @@ class ParallelValidator:
         #: Cached per-session shared object for the backend (see
         #: repro.exec.validating); typed wide so the exec island can swap it.
         self._exec_shared: Optional[object] = None
+        #: Optional shared preparation-artifact cache (footprints, dep
+        #: graph, schedules).  The pipeline supplies one so validation
+        #: phases and exec backends reuse one derivation per block; without
+        #: it every phase derives its own (the seed behaviour).
+        self.artifacts = artifacts
 
     # ------------------------------------------------------------------ #
 
@@ -421,7 +428,17 @@ class ParallelValidator:
                 return addresses
             return frozenset(read_keys) | frozenset(write_keys)
 
-        if profile is not None:
+        art = (
+            self.artifacts.get(block, granularity)
+            if self.artifacts is not None and profile is not None
+            else None
+        )
+        if art is not None:
+            # preparation artifacts reused (simulated prep_cost unchanged:
+            # the cache saves host CPU, not modelled scheduler time)
+            footprints = list(art.footprints)
+            gas_estimates = list(art.gas_estimates)
+        elif profile is not None:
             footprints = [
                 footprint_of(
                     e.rw.read_keys(), e.rw.write_keys(), e.rw.touched_addresses()
@@ -451,10 +468,16 @@ class ParallelValidator:
         # serial-fallback block runs its whole execution on one lane
         prep_cost += retry_penalty
         lanes = 1 if used_serial else self.config.lanes
-        graph = build_dependency_graph(footprints, gas_estimates)
-        plan = schedule_components(
-            graph, lanes, self.config.policy, self.config.seed, metrics=metrics
-        )
+        if art is not None:
+            graph = art.graph
+            plan = art.plan_for(
+                lanes, self.config.policy, self.config.seed, metrics=metrics
+            )
+        else:
+            graph = build_dependency_graph(footprints, gas_estimates)
+            plan = schedule_components(
+                graph, lanes, self.config.policy, self.config.seed, metrics=metrics
+            )
 
         # ----- profile verification (Algorithm 2) -------------------------- #
         if profile is not None and self.config.verify_profile:

@@ -137,17 +137,36 @@ def execute_block_parallel(
         ]
 
     # ----- partition from the (unverified) profile ----------------------- #
-    footprints = [entry.rw.touched_addresses() for entry in profile.entries]
-    gas_estimates = [entry.gas_used for entry in profile.entries]
-    graph = build_dependency_graph(footprints, gas_estimates)
-    plan = schedule_components(
-        graph, max(1, backend.workers), validator.config.policy, validator.config.seed
+    # The pipeline's artifact cache (when attached) owns this derivation:
+    # the same footprints/graph serve the preparation phase afterwards, so
+    # the partition is computed once per block instead of once per phase.
+    art = (
+        validator.artifacts.get(block, "account")
+        if validator.artifacts is not None
+        else None
     )
-
-    component_addresses = [
-        frozenset().union(*(footprints[i] for i in component))
-        for component in graph.components
-    ]
+    if art is not None:
+        graph = art.graph
+        plan = art.plan_for(
+            max(1, backend.workers),
+            validator.config.policy,
+            validator.config.seed,
+        )
+        component_addresses = list(art.component_footprints())
+    else:
+        footprints = [entry.rw.touched_addresses() for entry in profile.entries]
+        gas_estimates = [entry.gas_used for entry in profile.entries]
+        graph = build_dependency_graph(footprints, gas_estimates)
+        plan = schedule_components(
+            graph,
+            max(1, backend.workers),
+            validator.config.policy,
+            validator.config.seed,
+        )
+        component_addresses = [
+            frozenset().union(*(footprints[i] for i in component))
+            for component in graph.components
+        ]
 
     shared = getattr(validator, "_exec_shared", None)
     if shared is None or shared.evm_config is not validator.evm.config:

@@ -295,9 +295,18 @@ class StateDB:
         """Fold the overlay into a new immutable snapshot.
 
         Only dirty accounts are re-encoded into the account trie, and only
-        dirty storage slots into the storage tries, so commit cost is
-        proportional to the write set — the property that makes block-level
-        state roots affordable (paper §5.2 checks roots per block).
+        *effectively* dirty storage slots into the storage tries, so commit
+        cost is proportional to the net write set — the property that makes
+        block-level state roots affordable (paper §5.2 checks roots per
+        block).  Three batching rules keep the trie work minimal without
+        changing any root:
+
+        * overlay slots whose value equals the base value are dropped
+          (writing an identical trie value cannot move the root);
+        * the surviving slots of each account go through one sorted
+          :meth:`SecureMPT.update_many` pass instead of per-slot calls;
+        * an account whose nonce/balance/code match base and whose storage
+          batch came out empty keeps its base trie entry untouched.
         """
         accounts: Dict[Address, AccountData] = dict(self._base.accounts)
         account_trie = self._base._account_trie
@@ -307,26 +316,44 @@ class StateDB:
             base_acct = self._base.account(address)
             if not ov.exists:
                 continue
-            # merge storage: copy-on-write only when slots changed
-            if ov.storage:
-                merged = dict(base_acct.storage) if base_acct else {}
-                storage_trie = storage_tries.get(address, SecureMPT())
-                for slot, value in ov.storage.items():
+            base_storage = base_acct.storage if base_acct else {}
+            # net storage delta: sorted slots, no-op writes dropped
+            changed = [
+                (slot, value)
+                for slot, value in sorted(ov.storage.items())
+                if value != base_storage.get(slot, 0)
+            ]
+            if changed:
+                merged = dict(base_storage)
+                updates = []
+                for slot, value in changed:
                     if value:
                         merged[slot] = value
-                        storage_trie = storage_trie.set(
-                            _slot_key(slot), _storage_value_bytes(value)
+                        updates.append(
+                            (_slot_key(slot), _storage_value_bytes(value))
                         )
                     else:
                         merged.pop(slot, None)
-                        storage_trie = storage_trie.delete(_slot_key(slot))
+                        updates.append((_slot_key(slot), b""))
+                storage_trie = storage_tries.get(address, SecureMPT())
+                storage_trie = storage_trie.update_many(updates)
                 if storage_trie.is_empty():
                     storage_tries.pop(address, None)
                 else:
                     storage_tries[address] = storage_trie
                 storage = merged
             else:
-                storage = base_acct.storage if base_acct else {}
+                storage = base_storage
+
+            if (
+                not changed
+                and base_acct is not None
+                and ov.nonce == base_acct.nonce
+                and ov.balance == base_acct.balance
+                and ov.code == base_acct.code
+            ):
+                # touched but unchanged: the base trie entry is still exact
+                continue
 
             new_acct = AccountData(
                 nonce=ov.nonce, balance=ov.balance, code=ov.code, storage=storage

@@ -21,11 +21,12 @@ Design choices:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from repro.common.hashing import keccak
 from repro.common.rlp import rlp_encode
 from repro.common.types import Hash32
+from repro.state.cache import keccak_cached
 
 __all__ = ["MPT", "SecureMPT", "EMPTY_ROOT"]
 
@@ -349,6 +350,11 @@ class SecureMPT:
     prevents key-grinding attacks on the structure.  Iteration yields
     hashed keys, so callers that need reverse lookup keep their own index
     (the :class:`~repro.state.statedb.StateDB` does).
+
+    Key hashing goes through the process-wide :func:`keccak_cached` memo —
+    commits re-hash the same addresses and slot keys block after block, so
+    memoizing the preimage→digest map removes the dominant hashing cost
+    without changing any root (the memo is a pure-function cache).
     """
 
     __slots__ = ("_trie",)
@@ -357,13 +363,32 @@ class SecureMPT:
         self._trie = _trie if _trie is not None else MPT()
 
     def get(self, key: bytes) -> Optional[bytes]:
-        return self._trie.get(keccak(key))
+        return self._trie.get(keccak_cached(key))
 
     def set(self, key: bytes, value: bytes) -> "SecureMPT":
-        return SecureMPT(self._trie.set(keccak(key), value))
+        return SecureMPT(self._trie.set(keccak_cached(key), value))
 
     def delete(self, key: bytes) -> "SecureMPT":
-        return SecureMPT(self._trie.delete(keccak(key)))
+        return SecureMPT(self._trie.delete(keccak_cached(key)))
+
+    def update_many(self, items: Iterable[Tuple[bytes, bytes]]) -> "SecureMPT":
+        """Apply a batch of ``(key, value)`` updates in one pass.
+
+        ``b""`` values delete (Ethereum zero-storage semantics), matching
+        :meth:`set`.  Returns ``self`` unchanged when every update is a
+        no-op, preserving structural sharing for snapshot identity checks.
+        The batch amortises the per-call ``SecureMPT`` wrapper allocation
+        that ``StateDB.commit()`` previously paid per storage slot.
+        """
+        trie = self._trie
+        for key, value in items:
+            if value == b"":
+                trie = trie.delete(keccak_cached(key))
+            else:
+                trie = trie.set(keccak_cached(key), value)
+        if trie is self._trie:
+            return self
+        return SecureMPT(trie)
 
     def root_hash(self) -> Hash32:
         return self._trie.root_hash()

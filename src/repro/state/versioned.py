@@ -27,6 +27,7 @@ from repro.state.access import (
     nonce_key,
     storage_key,
 )
+from repro.state.cache import ReadThroughCache
 from repro.state.statedb import StateSnapshot
 
 __all__ = ["MultiVersionStore", "OCCStateView", "OCCConflict", "read_base_value"]
@@ -70,11 +71,20 @@ class MultiVersionStore:
         self.base = base
         self._versions: Dict[StateKey, Tuple[List[int], List[Any]]] = {}
         self.committed_version = 0
+        # Base-snapshot reads repeat across every optimistic transaction in
+        # a block (hot contracts, funded senders); the snapshot is immutable
+        # for the store's lifetime, so a bounded read-through cache is safe.
+        self.base_cache: ReadThroughCache[StateKey, Any] = ReadThroughCache(
+            self._load_base, maxsize=8192
+        )
 
     # ------------------------------------------------------------------ #
 
-    def _base_value(self, key: StateKey) -> Any:
+    def _load_base(self, key: StateKey) -> Any:
         return read_base_value(self.base, key)
+
+    def _base_value(self, key: StateKey) -> Any:
+        return self.base_cache.get(key)
 
     def read_at(self, key: StateKey, version: int) -> Any:
         """Value of ``key`` as of snapshot ``version``."""

@@ -36,6 +36,9 @@ class Transaction:
     gas_price: int
     nonce: int
     tag: str = field(default="", compare=False)
+    _hash: Optional[Hash32] = field(
+        default=None, compare=False, repr=False, init=False
+    )
 
     def __post_init__(self) -> None:
         if self.value < 0:
@@ -49,15 +52,21 @@ class Transaction:
 
     @property
     def hash(self) -> Hash32:
-        return hash_of(
-            bytes(self.sender),
-            bytes(self.to) if self.to is not None else None,
-            self.value,
-            self.data,
-            self.gas_limit,
-            self.gas_price,
-            self.nonce,
-        )
+        # Memoized: the pool's hash index and the proposer consult the hash
+        # on every queue operation, and all hash inputs are frozen.
+        cached = self._hash
+        if cached is None:
+            cached = hash_of(
+                bytes(self.sender),
+                bytes(self.to) if self.to is not None else None,
+                self.value,
+                self.data,
+                self.gas_limit,
+                self.gas_price,
+                self.nonce,
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def is_create(self) -> bool:

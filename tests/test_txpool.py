@@ -198,18 +198,22 @@ class TestOCCFlow:
         pool.add(tx(A, 0, price=20))
         pool.add(tx(A, 0, price=40))
         assert len(pool) == 1
+        pool.check_invariants()
         t = pool.pop_best()
         assert t.gas_price == 40
         pool.mark_packed(t)
         assert pool.pop_best() is None
+        pool.check_invariants()
 
     def test_has_ready_ignores_cancelled(self):
         pool = TxPool()
         pool.add(tx(A, 0, price=10))
         pool.add(tx(A, 0, price=20))
         assert pool.has_ready()
+        pool.check_invariants()
         pool.pop_best()
         assert not pool.has_ready()
+        pool.check_invariants()
 
     def test_has_ready(self):
         pool = TxPool()
@@ -309,3 +313,107 @@ class TestRestore:
         pool.add(t1)  # t1 parked behind t0
         assert pool.contains(t0.hash) and pool.contains(t1.hash)
         assert not pool.contains(tx(B, 0).hash)
+
+
+class TestReplaceByFeeBoundary:
+    """Regression for the RBF off-by-one: the documented threshold is
+    ``old + old*10//100`` *inclusive* (geth semantics).  The pre-fix
+    ``_check_bump`` used ``<= threshold`` and rejected a bid priced exactly
+    at +10%."""
+
+    def test_exact_bump_threshold_accepted_promoted(self):
+        pool = TxPool()
+        pool.add(tx(A, 0, price=100))
+        replacement = tx(A, 0, price=110)  # exactly old + old*10//100
+        pool.add(replacement)  # raised ValueError before the fix
+        assert pool.pop_best() is replacement
+
+    def test_exact_bump_threshold_accepted_parked(self):
+        pool = TxPool()
+        pool.add(tx(A, 0, price=10))
+        pool.add(tx(A, 1, price=100))  # parked behind nonce 0
+        pool.add(tx(A, 1, price=110))  # raised ValueError before the fix
+        t0 = pool.pop_best()
+        pool.mark_packed(t0)
+        assert pool.pop_best().gas_price == 110
+
+    def test_one_below_threshold_rejected(self):
+        pool = TxPool()
+        pool.add(tx(A, 0, price=100))
+        with pytest.raises(ValueError, match="underpriced"):
+            pool.add(tx(A, 0, price=109))
+
+    def test_zero_bump_still_requires_strict_increase(self):
+        # tiny prices: the integer bump rounds to zero, so the threshold
+        # equals the old price — equality must still be rejected
+        pool = TxPool()
+        pool.add(tx(A, 0, price=5))
+        with pytest.raises(ValueError, match="underpriced"):
+            pool.add(tx(A, 0, price=5))
+        pool.add(tx(A, 0, price=6))  # >= threshold (5) and > old
+        assert pool.pop_best().gas_price == 6
+
+
+class TestIndexAndCompaction:
+    """The hot-path index layer: O(1) contains/has_ready, lazy-cancelled
+    compaction, and the re-derived invariants that specify them."""
+
+    def test_cancelled_hash_never_reported(self):
+        pool = TxPool()
+        old = tx(A, 0, price=10)
+        pool.add(old)
+        pool.add(tx(A, 0, price=20))
+        assert not pool.contains(old.hash)
+        pool.check_invariants()
+        # a cancelled entry must not block a fork-cleanup restore either
+        assert not pool.restore(old)  # stale: live replacement queued
+
+    def test_compaction_triggers_under_rbf_churn(self):
+        pool = TxPool()
+        # distinct senders keep the heap populated while sender A churns
+        for i in range(8):
+            pool.add(tx(Address.from_int(50 + i), 0, price=1))
+        price = 100
+        pool.add(tx(A, 0, price=price))
+        for _ in range(12):
+            price += price * 10 // 100  # always exactly at threshold
+            pool.add(tx(A, 0, price=price))
+            pool.check_invariants()
+        assert pool.compactions > 0
+        # post-compaction: everything still pops in price order, once
+        popped = []
+        while True:
+            t = pool.pop_best()
+            if t is None:
+                break
+            popped.append(t)
+            pool.mark_packed(t)
+        assert len(popped) == 9
+        assert popped[0].sender == A and popped[0].gas_price == price
+
+    def test_compaction_counter_metric(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        pool = TxPool(metrics=metrics)
+        pool.add(tx(A, 0, price=100))
+        for price in (110, 121, 134):
+            pool.add(tx(A, 0, price=price))
+        snap = metrics.snapshot()
+        assert snap["counters"]["txpool.replacements"] == 3
+        assert snap["counters"]["txpool.compactions"] == pool.compactions > 0
+
+    def test_live_counter_tracks_heap(self):
+        pool = TxPool()
+        pool.add(tx(A, 0, price=10))
+        pool.add(tx(B, 0, price=20))
+        assert pool.has_ready()
+        a = pool.pop_best()
+        assert pool.has_ready()  # B still live
+        b = pool.pop_best()
+        assert not pool.has_ready()
+        pool.push_back(a)
+        assert pool.has_ready()
+        pool.check_invariants()
+        pool.mark_packed(b)
+        pool.check_invariants()

@@ -2,12 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
 
+# default developer loop: the fast tier (slow soaks run in test-all / CI)
 test:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-all:
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -16,6 +20,16 @@ test-fast:
 # everything tagged @pytest.mark.faults, wherever it lives
 test-faults:
 	$(PYTHON) -m pytest tests benchmarks -m faults -q
+
+# conformance suite (repro.check): serializability + differential oracles
+# over freshly proposed blocks — exits non-zero on any violation
+check:
+	$(PYTHON) -m repro --txs-per-block 40 --blocks-per-point 3 check
+
+# schedule-fuzzer sweep: permuted thread-backend interleavings through the
+# full conformance chain; failing seeds land in fuzz_failures.json
+check-fuzz:
+	$(PYTHON) -m repro fuzz --schedules 200 --budget 120 --out fuzz_failures.json
 
 lint:
 	ruff check src tests benchmarks examples
@@ -26,7 +40,7 @@ typecheck:
 
 coverage:
 	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term --cov-report=xml \
-		--cov-fail-under=70 -q
+		--cov-fail-under=75 -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

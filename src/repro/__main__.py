@@ -8,6 +8,9 @@ Usage::
     python -m repro pipeline --blocks 1 2 4 8  # Fig. 9-style sweep
     python -m repro hotspot                    # Fig. 8-style sweep
     python -m repro trace --out trace.json     # traced run -> Perfetto JSON
+    python -m repro check                      # conformance oracles over a chain
+    python -m repro check failing.json         # replay fuzzer repro schedules
+    python -m repro fuzz --schedules 200       # schedule fuzzer (repro.check)
 
 All subcommands run on a freshly generated universe; ``--seed``,
 ``--txs-per-block`` and ``--blocks-per-point`` control workload size.
@@ -259,6 +262,79 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _fuzz_scenario(args):
+    """The shared fuzz target — ``fuzz`` and ``check <repro>`` must agree
+    on it so a repro file's recorded decisions land on the same workload."""
+    from repro.check.fuzzer import ConformanceScenario
+
+    return ConformanceScenario.hotspot(n_txs=args.txs, seed=args.seed)
+
+
+def cmd_check(args) -> int:
+    """Run the conformance oracles; exit non-zero on any violation."""
+    from repro.check import diff_proposal, verify_commit_order, verify_schedule
+    from repro.check.fuzzer import load_schedule_json, run_schedule
+
+    if args.repro:
+        # replay mode: each schedule in the repro file is re-run against the
+        # standard fuzz scenario (same as `python -m repro fuzz` builds)
+        scenario = _fuzz_scenario(args)
+        failures = []
+        for index, schedule in enumerate(load_schedule_json(args.repro)):
+            failure = run_schedule(scenario, schedule)
+            if failure is None:
+                print(f"schedule {index}: ok")
+            else:
+                print(f"schedule {index}: FAIL\n{failure.describe()}")
+                failures.append(failure)
+        return 1 if failures else 0
+
+    universe, generator, chain = _setup(args)
+    serial = SerialExecutor()
+    proposer = ProposerNode("cli-check", backend=args.exec_backend)
+    parent_header, parent_state = chain.genesis.header, universe.genesis
+    rows, bad = [], 0
+    for number in range(args.blocks_per_point):
+        txs = generator.generate_block_txs()
+        sealed = proposer.build_block(parent_header, parent_state, txs)
+        sched = verify_schedule(sealed.block)
+        order = verify_commit_order(sealed.proposal)
+        diff = diff_proposal(sealed, parent_state)
+        if not (sched.ok and order.ok and diff.ok):
+            bad += 1
+            for report in (sched, order, diff):
+                if not report.ok:
+                    print(report.summary())
+        rows.append(
+            {
+                "block": number + 1,
+                "txs": len(sealed.block),
+                "conflict_edges": sum(sched.edge_counts().values()),
+                "serializable": sched.ok and order.ok,
+                "serial_equivalent": diff.ok,
+            }
+        )
+        sres = serial.execute_block(sealed.block, parent_state)
+        parent_header, parent_state = sealed.block.header, sres.post_state
+    print(format_table(rows, title="conformance check (oracle + differential)"))
+    return 1 if bad else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Explore seeded driver interleavings; exit non-zero on any failure."""
+    from repro.check.fuzzer import fuzz_conformance, save_failures
+
+    scenario = _fuzz_scenario(args)
+    result = fuzz_conformance(
+        scenario, args.schedules, seed=args.seed, budget_s=args.budget
+    )
+    print(result.summary())
+    if args.out and result.failures:
+        save_failures(result, args.out)
+        print(f"wrote failing schedules to {args.out}")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -305,6 +381,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="prune flame lines below this fraction of total time",
     )
+    p = sub.add_parser(
+        "check", help="conformance oracles: serializability + serial-equivalence"
+    )
+    p.add_argument(
+        "repro",
+        nargs="?",
+        default=None,
+        help="optional fuzzer repro JSON: replay its schedules instead of "
+        "building a fresh chain",
+    )
+    p.add_argument(
+        "--txs",
+        type=int,
+        default=18,
+        help="scenario block size for repro replays (must match the fuzz run)",
+    )
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic schedule fuzzer over the thread-backend drivers",
+    )
+    p.add_argument("--schedules", type=int, default=50)
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (stops early when exceeded)",
+    )
+    p.add_argument("--txs", type=int, default=18, help="scenario block size")
+    p.add_argument(
+        "--out", default=None, help="write failing schedules to this JSON file"
+    )
     return parser
 
 
@@ -315,6 +422,8 @@ COMMANDS = {
     "pipeline": cmd_pipeline,
     "hotspot": cmd_hotspot,
     "trace": cmd_trace,
+    "check": cmd_check,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -1,0 +1,81 @@
+"""Concurrency conformance suite: oracles, fuzzer, and race reporting.
+
+BlockPilot's correctness story rests on two claims the rest of the code
+asserts only indirectly:
+
+* the proposer's OCC-WSI commit order is **conflict-serializable**
+  (Algorithm 1) — replaying commits serially in commit order reproduces
+  the identical state;
+* the validator's subgraph-parallel replay under the block profile is
+  **equivalent to serial block-order execution** (Algorithm 2).
+
+This package turns those claims into reusable, adversarially-exercised
+machinery (the same shape as Block-STM's internal parallel-vs-sequential
+consistency check):
+
+* :mod:`repro.check.oracle` — the serializability oracle: builds the
+  rw/ww/wr conflict graph from the versioned read/write sets every
+  OCC-WSI run records and proves the committed order conflict-serializable
+  by cycle detection.  Runs post-propose behind
+  ``ProposerConfig(strict_checks=True)``.
+* :mod:`repro.check.differential` — the differential oracle: re-executes
+  a block serially from the parent snapshot and diffs state roots,
+  receipts, gas and RunStats-visible outcomes.
+* :mod:`repro.check.fuzzer` — a deterministic schedule fuzzer that drives
+  the thread backend through permuted worker interleavings (via the yield
+  points in :mod:`repro.exec.hooks`), shrinks failing interleavings to a
+  minimal schedule, and serialises repro seeds to JSON.
+* :mod:`repro.check.report` — typed :class:`FootprintViolation` findings
+  from the guarded snapshots plus the ``repro.check.report`` summary.
+
+CLI: ``python -m repro check [trace.json]`` runs both oracles over a
+recorded (or freshly generated) workload; ``python -m repro fuzz`` runs
+the schedule fuzzer (``make check-fuzz``).
+"""
+
+from repro.check.differential import (
+    DiffFinding,
+    DifferentialReport,
+    diff_block,
+    diff_proposal,
+)
+from repro.check.fuzzer import (
+    ConformanceScenario,
+    FuzzFailure,
+    FuzzResult,
+    FuzzSchedule,
+    fuzz_conformance,
+    load_schedule_json,
+    shrink_schedule,
+)
+from repro.check.oracle import (
+    ConflictEdge,
+    ScheduleReport,
+    ScheduleViolation,
+    ScheduleViolationError,
+    verify_commit_order,
+    verify_schedule,
+)
+from repro.check.report import CheckLog, FootprintViolation
+
+__all__ = [
+    "ConflictEdge",
+    "ScheduleReport",
+    "ScheduleViolation",
+    "ScheduleViolationError",
+    "verify_schedule",
+    "verify_commit_order",
+    "DiffFinding",
+    "DifferentialReport",
+    "diff_block",
+    "diff_proposal",
+    "ConformanceScenario",
+    "FuzzSchedule",
+    "FuzzFailure",
+    "FuzzResult",
+    "fuzz_conformance",
+    "shrink_schedule",
+    "load_schedule_json",
+    "CheckLog",
+    "FootprintViolation",
+]

@@ -58,6 +58,12 @@ class ProposerConfig:
     #: proposer would rather ship the block than spin; never hit in
     #: practice because the pool drains).
     max_retries: int = 1000
+    #: Run the serializability oracle (:mod:`repro.check.oracle`) over every
+    #: proposal before returning it, raising
+    #: :class:`~repro.check.oracle.ScheduleViolationError` if the committed
+    #: order is not provably conflict-serializable.  Off by default: the
+    #: check is O(committed rw-set size) per block — cheap, but not free.
+    strict_checks: bool = False
 
 
 @dataclass
@@ -131,6 +137,7 @@ class OCCWSIProposer:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
+        probe=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ProposerConfig()
@@ -143,6 +150,29 @@ class OCCWSIProposer:
         #: keeps the simulated-clock event loop below; a backend switches
         #: :meth:`propose` to the deterministic wave driver on real cores.
         self.backend = backend
+        #: Optional :class:`~repro.exec.hooks.ScheduleProbe` steering the
+        #: wave driver's scheduling decisions (conformance fuzzing only;
+        #: ``None`` keeps every decision at its production default).
+        self.probe = probe
+
+    def _checked(self, result: "ProposalResult") -> "ProposalResult":
+        """Post-propose oracle gate (``ProposerConfig.strict_checks``)."""
+        if not self.config.strict_checks:
+            return result
+        # local import: repro.check re-executes through the core pipeline,
+        # so a module-level import would be circular
+        from repro.check.oracle import ScheduleViolationError, verify_commit_order
+
+        report = verify_commit_order(result)
+        if self.metrics is not None:
+            self.metrics.counter("check.schedules_verified").inc()
+            if not report.ok:
+                self.metrics.counter("check.schedule_violations").inc(
+                    len(report.violations)
+                )
+        if not report.ok:
+            raise ScheduleViolationError(report)
+        return result
 
     def propose(
         self,
@@ -154,7 +184,9 @@ class OCCWSIProposer:
         if self.backend is not None:
             from repro.exec.proposing import propose_with_backend
 
-            return propose_with_backend(self, base, pool, ctx, self.backend)
+            return self._checked(
+                propose_with_backend(self, base, pool, ctx, self.backend)
+            )
         cfg = self.config
         model = self.cost_model
         tracer = self.tracer
@@ -362,12 +394,14 @@ class OCCWSIProposer:
             metrics.counter("state.base_cache.hits").inc(base_stats.hits)
             metrics.counter("state.base_cache.misses").inc(base_stats.misses)
             metrics.merge_into(stats.extra)
-        return ProposalResult(
-            committed=committed,
-            stats=stats,
-            store=store,
-            base=base,
-            total_fees=total_fees,
-            invalid_dropped=invalid_dropped,
-            retries_exhausted=retries_exhausted,
+        return self._checked(
+            ProposalResult(
+                committed=committed,
+                stats=stats,
+                store=store,
+                base=base,
+                total_fees=total_fees,
+                invalid_dropped=invalid_dropped,
+                retries_exhausted=retries_exhausted,
+            )
         )

@@ -159,6 +159,8 @@ class ParallelValidator:
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
         artifacts: Optional[ArtifactCache] = None,
+        check_log=None,
+        probe=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
@@ -182,6 +184,15 @@ class ParallelValidator:
         #: phases and exec backends reuse one derivation per block; without
         #: it every phase derives its own (the seed behaviour).
         self.artifacts = artifacts
+        #: Optional :class:`~repro.check.report.CheckLog`: the footprint
+        #: race detector.  When attached, backend component tasks run in
+        #: record mode and every out-of-footprint access becomes a typed
+        #: FootprintViolation finding instead of a silent fallback.
+        self.check_log = check_log
+        #: Optional :class:`~repro.exec.hooks.ScheduleProbe` steering the
+        #: component driver's scheduling decisions (conformance fuzzing).
+        #: ``None`` means every decision takes its production default.
+        self.probe = probe
 
     # ------------------------------------------------------------------ #
 

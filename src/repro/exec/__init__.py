@@ -17,6 +17,7 @@ from repro.exec.backend import (
     default_workers,
     get_backend,
 )
+from repro.exec.hooks import IdentityProbe, ScheduleProbe
 from repro.exec.tasks import FootprintMiss, GuardedSnapshot, SliceSnapshot
 
 __all__ = [
@@ -30,4 +31,6 @@ __all__ = [
     "FootprintMiss",
     "GuardedSnapshot",
     "SliceSnapshot",
+    "ScheduleProbe",
+    "IdentityProbe",
 ]

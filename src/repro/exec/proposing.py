@@ -37,6 +37,7 @@ from repro.txpool.pool import TxPool
 from repro.txpool.transaction import Transaction
 
 from repro.exec.backend import ExecutionBackend
+from repro.exec.hooks import apply_order
 from repro.exec.tasks import ProposeShared, ProposeTask, run_propose_task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -65,6 +66,8 @@ def propose_with_backend(
     tracer = proposer.tracer
     trace_on = tracer.enabled
     metrics = proposer.metrics
+    # conformance yield points (repro.exec.hooks); None = production defaults
+    probe = proposer.probe
 
     store = MultiVersionStore(base)
     reserve: Dict[StateKey, int] = {}
@@ -104,8 +107,13 @@ def propose_with_backend(
 
     while not block_full():
         # -- wave selection: logical width, backend-independent ---------- #
+        # yield point: a narrower wave models workers that started late and
+        # popped nothing before the wave's snapshot was taken
+        width = cfg.lanes
+        if probe is not None:
+            width = max(1, min(cfg.lanes, probe.wave_width(waves, cfg.lanes)))
         batch: List[Transaction] = []
-        while len(batch) < cfg.lanes:
+        while len(batch) < width:
             tx = pool.pop_best()
             if tx is None:
                 break
@@ -123,7 +131,17 @@ def propose_with_backend(
         )
 
         # -- deterministic commit section (parent only, batch order) ----- #
-        for slot, (tx, out) in enumerate(zip(batch, outs)):
+        # yield point: any permutation of the wave's slots models workers
+        # racing into Algorithm 1's critical section in a different order
+        slot_order: List[int] = list(range(len(batch)))
+        if probe is not None:
+            permuted = apply_order(
+                probe.wave_commit_order(waves - 1, len(batch)), len(batch)
+            )
+            if permuted is not None:
+                slot_order = permuted
+        for slot in slot_order:
+            tx, out = batch[slot], outs[slot]
             if out.invalid is not None:
                 pool.drop(tx)
                 invalid_dropped += 1

@@ -82,17 +82,35 @@ class GuardedSnapshot:
     Used by the in-memory backends (serial/thread): workers share the one
     parent :class:`StateSnapshot`, and the guard turns any access that
     would break component isolation into a :class:`FootprintMiss`.
+
+    ``recorder`` (when set) observes every out-of-footprint address; with
+    ``strict=False`` the guard *records instead of raising* and serves the
+    true base value, so the race detector can enumerate the complete
+    violation set of a lying profile rather than stopping at the first
+    miss.  Non-strict results are still discarded by the caller — the
+    guard only ever relaxes reporting, never commitment.
     """
 
-    __slots__ = ("_base", "_allowed")
+    __slots__ = ("_base", "_allowed", "_recorder", "_strict")
 
-    def __init__(self, base: StateSnapshot, allowed: FrozenSet[Address]) -> None:
+    def __init__(
+        self,
+        base: StateSnapshot,
+        allowed: FrozenSet[Address],
+        recorder: Optional[Callable[[Address], None]] = None,
+        strict: bool = True,
+    ) -> None:
         self._base = base
         self._allowed = allowed
+        self._recorder = recorder
+        self._strict = strict
 
     def account(self, address: Address) -> Optional[AccountData]:
         if address not in self._allowed:
-            raise FootprintMiss(address)
+            if self._recorder is not None:
+                self._recorder(address)
+            if self._strict:
+                raise FootprintMiss(address)
         return self._base.account(address)
 
 
@@ -103,17 +121,27 @@ class SliceSnapshot:
     (present-but-``None`` marks an account that does not exist in the
     parent state); anything else raises :class:`FootprintMiss`, mirroring
     :class:`GuardedSnapshot` semantics across the pickling boundary.
+    Unlike the guarded view, a slice cannot serve an out-of-footprint
+    value (it was never shipped), so misses always raise even when a
+    ``recorder`` observes them first.
     """
 
-    __slots__ = ("_accounts",)
+    __slots__ = ("_accounts", "_recorder")
 
-    def __init__(self, accounts: Dict[Address, Optional[AccountData]]) -> None:
+    def __init__(
+        self,
+        accounts: Dict[Address, Optional[AccountData]],
+        recorder: Optional[Callable[[Address], None]] = None,
+    ) -> None:
         self._accounts = accounts
+        self._recorder = recorder
 
     def account(self, address: Address) -> Optional[AccountData]:
         try:
             return self._accounts[address]
         except KeyError:
+            if self._recorder is not None:
+                self._recorder(address)
             raise FootprintMiss(address) from None
 
 
@@ -298,6 +326,9 @@ class ComponentTask(NamedTuple):
     base: Optional[StateSnapshot]
     #: pickle-able account slice (process backend only)
     slice_accounts: Optional[Dict[Address, Optional[AccountData]]]
+    #: race-detector mode: enumerate every out-of-footprint access (the
+    #: in-memory guard then serves true values past the first miss)
+    record_misses: bool = False
 
 
 class ComponentOutcome(NamedTuple):
@@ -311,13 +342,29 @@ class ComponentOutcome(NamedTuple):
     rwsets: Tuple[ReadWriteSet, ...]
     overlay: Dict[Address, OverlayEntry]
     elapsed_us: float
+    #: out-of-footprint addresses observed (deduplicated, access order);
+    #: non-empty exactly when a footprint guard fired or recorded
+    misses: Tuple[Address, ...] = ()
+
+
+def _dedup_addresses(addresses: List[Address]) -> Tuple[Address, ...]:
+    seen: Dict[Address, None] = {}
+    for address in addresses:
+        seen.setdefault(address)
+    return tuple(seen)
 
 
 def _run_component(evm: EVM, task: ComponentTask) -> ComponentOutcome:
+    misses: List[Address] = []
+    recorder: Optional[Callable[[Address], None]] = (
+        misses.append if task.record_misses else None
+    )
     if task.base is not None:
-        base: Any = GuardedSnapshot(task.base, task.allowed)
+        base: Any = GuardedSnapshot(
+            task.base, task.allowed, recorder=recorder, strict=not task.record_misses
+        )
     else:
-        base = SliceSnapshot(task.slice_accounts or {})
+        base = SliceSnapshot(task.slice_accounts or {}, recorder=recorder)
     db = StateDB(base)
     results: List[TxResult] = []
     rwsets: List[ReadWriteSet] = []
@@ -330,21 +377,44 @@ def _run_component(evm: EVM, task: ComponentTask) -> ComponentOutcome:
     except InvalidTransaction as exc:
         elapsed_us = (time.perf_counter() - start) * 1e6
         return ComponentOutcome(
-            task.component, ("invalid", str(exc)), (), (), {}, elapsed_us
+            task.component,
+            ("invalid", str(exc)),
+            (),
+            (),
+            {},
+            elapsed_us,
+            _dedup_addresses(misses),
         )
     except FootprintMiss as exc:
         elapsed_us = (time.perf_counter() - start) * 1e6
+        misses.append(exc.address)
         return ComponentOutcome(
-            task.component, ("footprint_miss", str(exc)), (), (), {}, elapsed_us
+            task.component,
+            ("footprint_miss", str(exc)),
+            (),
+            (),
+            {},
+            elapsed_us,
+            _dedup_addresses(misses),
         )
     elapsed_us = (time.perf_counter() - start) * 1e6
+    # recorded misses without an exception (record_misses mode): the
+    # attempt is tainted — report it as a footprint anomaly so the caller
+    # falls back exactly as the strict guard would have
+    anomaly: Optional[Tuple[str, str]] = None
+    if misses:
+        anomaly = (
+            "footprint_miss",
+            f"access outside component footprint: {misses[0].hex()}",
+        )
     return ComponentOutcome(
         task.component,
-        None,
+        anomaly,
         tuple(results),
         tuple(rwsets),
         export_overlay(db),
         elapsed_us,
+        _dedup_addresses(misses),
     )
 
 

@@ -39,6 +39,7 @@ from repro.state.access import ReadWriteSet
 from repro.state.statedb import StateDB, StateSnapshot
 
 from repro.exec.backend import ExecutionBackend
+from repro.exec.hooks import apply_order
 from repro.exec.tasks import (
     ComponentOutcome,
     ComponentTask,
@@ -174,6 +175,7 @@ def execute_block_parallel(
         validator._exec_shared = shared
     backend.open(shared)
 
+    check_log = validator.check_log
     lane_payloads: List[Tuple[ComponentTask, ...]] = []
     for lane_components in plan.lane_components:
         if not lane_components:
@@ -195,17 +197,58 @@ def execute_block_parallel(
                         if backend.shares_memory
                         else build_state_slice(parent_state, allowed)
                     ),
+                    # race-detector mode: enumerate every out-of-footprint
+                    # access instead of stopping at the first miss
+                    record_misses=check_log is not None,
                 )
             )
         lane_payloads.append(tuple(lane))
+
+    # conformance yield points: lane submission order and per-lane component
+    # order model the pool handing tasks to differently-loaded workers.
+    # Components are account-disjoint and the merge below walks component
+    # indices, so any permutation here must reproduce the identical state —
+    # the property the fuzzer (repro.check.fuzzer) exercises.
+    probe = validator.probe
+    if probe is not None:
+        lane_order = apply_order(probe.lane_order(len(lane_payloads)), len(lane_payloads))
+        if lane_order is not None:
+            lane_payloads = [lane_payloads[i] for i in lane_order]
+        for lane_index, lane_tasks in enumerate(lane_payloads):
+            comp_order = apply_order(
+                probe.component_order(lane_index, len(lane_tasks)), len(lane_tasks)
+            )
+            if comp_order is not None:
+                lane_payloads[lane_index] = tuple(lane_tasks[i] for i in comp_order)
 
     wall0 = time.perf_counter()
     lane_outcomes = backend.map(run_validate_lane, lane_payloads)
     wall_us = (time.perf_counter() - wall0) * 1e6
 
+    anomalous = False
     outcomes: Dict[int, ComponentOutcome] = {}
     for lane_result in lane_outcomes:
         for outcome in lane_result:
+            if outcome.misses and check_log is not None:
+                # typed findings: which component, which txs, which account
+                # escaped the declared footprint (local import — repro.check
+                # re-enters the core pipeline, so top-level would cycle)
+                from repro.check.report import FootprintViolation
+
+                for address in outcome.misses:
+                    check_log.record_footprint(
+                        FootprintViolation(
+                            block=block.hash.hex()[:8],
+                            component=outcome.component,
+                            tx_indices=tuple(graph.components[outcome.component]),
+                            address=address,
+                            declared=len(component_addresses[outcome.component]),
+                        )
+                    )
+                if validator.metrics is not None:
+                    validator.metrics.counter("check.footprint_violations").inc(
+                        len(outcome.misses)
+                    )
             if outcome.anomaly is not None:
                 # lying profile (footprint miss) or an invalid transaction:
                 # discard the attempt, let the serial reference loop decide
@@ -213,8 +256,15 @@ def execute_block_parallel(
                     validator.metrics.counter(
                         f"validator.backend_{outcome.anomaly[0]}"
                     ).inc()
-                return None
+                if check_log is None:
+                    return None
+                anomalous = True
+                continue
             outcomes[outcome.component] = outcome
+    if anomalous:
+        # with a check log attached every lane is drained first so the
+        # violation report is complete; the fallback decision is unchanged
+        return None
 
     # ----- merge: commit order enforced here, in the parent -------------- #
     db = StateDB(parent_state)

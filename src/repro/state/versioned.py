@@ -127,6 +127,16 @@ class MultiVersionStore:
         """Latest value of every key ever written (for state materialise)."""
         return {key: values[-1] for key, (_, values) in self._versions.items()}
 
+    def key_versions(self) -> Dict[StateKey, List[int]]:
+        """Every key's committed write versions, in commit order.
+
+        The serializability oracle (:mod:`repro.check.oracle`) cross-checks
+        this index against the read/write sets the run recorded: any drift
+        between what the store holds and what the bookkeeping claims means
+        a driver applied writes it never recorded (or vice versa).
+        """
+        return {key: list(versions) for key, (versions, _) in self._versions.items()}
+
 
 class OCCStateView:
     """StateDB-compatible view for one optimistic transaction.

@@ -10,8 +10,10 @@ from repro.common.types import Address
 from repro.core.applier import Applier, ProfileMismatch
 from repro.core.baselines import SerialExecutor
 from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.faults.errors import FailureReason
+from repro.faults.injector import FaultConfig, FaultInjector
 from repro.network.node import ProposerNode
-from repro.state.access import ReadWriteSet, storage_key
+from repro.state.access import FrozenRWSet, ReadWriteSet, storage_key
 
 
 @pytest.fixture()
@@ -165,6 +167,104 @@ class TestRejection:
         # state root still matches (execution was honest), so accepted:
         # the profile lie only corrupted scheduling hints
         assert res.accepted
+
+
+class TestAdversarialProfileMatrix:
+    """Every corruption kind maps to exactly one typed FailureReason.
+
+    The matrix pins the failure *taxonomy*, not just rejection: a
+    validator that rejects a lying profile as a state-root mismatch has
+    lost the diagnostic that tells operators which peer lied and how.
+    """
+
+    MATRIX = [
+        ("drop_profile", FailureReason.MALFORMED_BLOCK),
+        ("truncate_txs", FailureReason.MALFORMED_BLOCK),
+        ("reorder_txs", FailureReason.MALFORMED_BLOCK),
+        ("state_root", FailureReason.STATE_ROOT_MISMATCH),
+        ("header_gas", FailureReason.RECEIPT_MISMATCH),
+        ("profile_read_drop", FailureReason.PROFILE_READ_MISMATCH),
+        ("profile_read_add", FailureReason.PROFILE_READ_MISMATCH),
+        ("profile_write_swap", FailureReason.PROFILE_WRITE_MISMATCH),
+        ("profile_write_value", FailureReason.PROFILE_WRITE_MISMATCH),
+        ("profile_gas", FailureReason.PROFILE_GAS_MISMATCH),
+        ("profile_status", FailureReason.PROFILE_GAS_MISMATCH),
+    ]
+
+    @pytest.mark.parametrize("kind,expected", MATRIX, ids=[k for k, _ in MATRIX])
+    def test_corruption_yields_typed_reason(
+        self, sealed, small_universe, kind, expected
+    ):
+        corrupted = FaultInjector(FaultConfig(seed=3)).corrupt_block(
+            sealed.block, kind
+        )
+        res = ParallelValidator().validate_block(corrupted, small_universe.genesis)
+        assert not res.accepted
+        assert res.failure is not None
+        assert res.failure.reason is expected, (
+            f"{kind}: got {res.failure.reason}, want {expected}"
+        )
+
+    @pytest.mark.parametrize("kind,expected", MATRIX, ids=[k for k, _ in MATRIX])
+    def test_corruption_seed_independent(
+        self, sealed, small_universe, kind, expected
+    ):
+        # the *reason* must not depend on which tx the injector picked
+        corrupted = FaultInjector(FaultConfig(seed=1234)).corrupt_block(
+            sealed.block, kind
+        )
+        res = ParallelValidator().validate_block(corrupted, small_universe.genesis)
+        assert not res.accepted
+        assert res.failure.reason is expected
+
+    def test_swapped_rw_sets_between_entries_rejected(
+        self, sealed, small_universe
+    ):
+        # hand-rolled shuffle: two entries trade whole rw-sets
+        block = sealed.block
+        entries = list(block.profile.entries)
+        i, j = 0, len(entries) - 1
+        assert entries[i].rw != entries[j].rw
+        entries[i], entries[j] = (
+            dataclasses.replace(entries[i], rw=entries[j].rw),
+            dataclasses.replace(entries[j], rw=entries[i].rw),
+        )
+        lying = dataclasses.replace(block, profile=BlockProfile(tuple(entries)))
+        res = ParallelValidator().validate_block(lying, small_universe.genesis)
+        assert not res.accepted
+        assert res.failure.reason in (
+            FailureReason.PROFILE_READ_MISMATCH,
+            FailureReason.PROFILE_WRITE_MISMATCH,
+        )
+
+    def test_superset_profile_rejected(self, sealed, small_universe):
+        # declaring MORE than the tx touches is as dishonest as less: an
+        # inflated footprint degrades the schedule other validators build
+        block = sealed.block
+        entries = list(block.profile.entries)
+        victim = entries[0]
+        padded = FrozenRWSet(
+            reads=victim.rw.reads
+            + ((storage_key(Address.from_int(0x7777), 1), 0),),
+            writes=victim.rw.writes,
+        )
+        entries[0] = dataclasses.replace(victim, rw=padded)
+        lying = dataclasses.replace(block, profile=BlockProfile(tuple(entries)))
+        res = ParallelValidator().validate_block(lying, small_universe.genesis)
+        assert not res.accepted
+        assert res.failure.reason is FailureReason.PROFILE_READ_MISMATCH
+
+    def test_subset_profile_rejected(self, sealed, small_universe):
+        block = sealed.block
+        entries = list(block.profile.entries)
+        victim = next(e for e in entries if e.rw.reads)
+        index = entries.index(victim)
+        stripped = FrozenRWSet(reads=victim.rw.reads[1:], writes=victim.rw.writes)
+        entries[index] = dataclasses.replace(victim, rw=stripped)
+        lying = dataclasses.replace(block, profile=BlockProfile(tuple(entries)))
+        res = ParallelValidator().validate_block(lying, small_universe.genesis)
+        assert not res.accepted
+        assert res.failure.reason is FailureReason.PROFILE_READ_MISMATCH
 
 
 class TestApplierUnit:

@@ -11,13 +11,20 @@ import dataclasses
 
 import pytest
 
+from repro.common.types import Address
+from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
 from repro.core.pipeline import PipelineConfig
+from repro.core.proposer import seal_block
 from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.evm.interpreter import ExecutionContext
+from repro.exec import ProcessBackend, SerialBackend, ThreadBackend
 from repro.faults.errors import FailureReason
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.network.node import ProposerNode, ValidatorNode
 from repro.network.simnet import NetworkConfig, NetworkSimulation
 from repro.obs import MetricsRegistry, Tracer, chrome_trace_json
+from repro.obs.export import chrome_trace_events
+from repro.txpool.pool import TxPool
 
 
 @pytest.fixture()
@@ -163,6 +170,114 @@ class TestFaultDeterminism:
             ]
             == 1
         )
+
+
+BACKENDS = (
+    ("serial", lambda: SerialBackend()),
+    ("thread", lambda: ThreadBackend(2)),
+    ("process", lambda: ProcessBackend(2)),
+)
+
+
+def _normalized_trace(tracer):
+    """Trace events with wall-clock placement stripped.
+
+    The real-core drivers stamp spans with wall time, which is the ONLY
+    legal run-to-run difference; names, ordering, pids/tids and every
+    attribute must replay byte-identically."""
+    events = []
+    for event in chrome_trace_events(tracer):
+        event = dict(event)
+        event["ts"] = 0
+        event.pop("dur", None)
+        events.append(event)
+    return events
+
+
+class TestBackendDeterminism:
+    """Same seed + same backend => byte-identical decisions (ISSUE 5, S1).
+
+    Extends the sim-clock contracts above to the real-parallelism drivers:
+    block contents, sealed header hashes, state roots, RunStats counters
+    and the normalized Chrome trace must all replay exactly, on every
+    backend."""
+
+    def _ctx(self):
+        return ExecutionContext(
+            block_number=1,
+            timestamp=1_000,
+            coinbase=Address(b"\xcc" * 20),
+            gas_limit=30_000_000,
+        )
+
+    @pytest.mark.parametrize("name,factory", BACKENDS, ids=[n for n, _ in BACKENDS])
+    def test_backend_propose_replays_identically(
+        self, small_universe, small_generator, genesis_chain, name, factory
+    ):
+        txs = small_generator.generate_block_txs()
+        ctx = self._ctx()
+
+        def run():
+            tracer = Tracer()
+            pool = TxPool()
+            pool.add_many(txs)
+            with factory() as backend:
+                proposer = OCCWSIProposer(
+                    config=ProposerConfig(lanes=4), backend=backend, tracer=tracer
+                )
+                result = proposer.propose(small_universe.genesis, pool, ctx)
+            sealed = seal_block(
+                result,
+                genesis_chain.genesis.header,
+                coinbase=ctx.coinbase,
+                timestamp=ctx.timestamp,
+                gas_limit=ctx.gas_limit,
+            )
+            stats = dataclasses.replace(result.stats, makespan=0.0)
+            return (
+                bytes(sealed.block.hash),
+                [c.tx.hash for c in result.committed],
+                bytes(result.final_state(coinbase=ctx.coinbase).state_root()),
+                stats,
+                _normalized_trace(tracer),
+            )
+
+        first, second = run(), run()
+        assert first[0] == second[0], "sealed block hash must replay"
+        assert first[1] == second[1], "committed tx order must replay"
+        assert first[2] == second[2], "state root must replay"
+        assert first[3] == second[3], "RunStats must replay"
+        assert first[4] == second[4], "normalized trace must replay"
+        assert first[4], "propose must actually emit spans"
+
+    @pytest.mark.parametrize("name,factory", BACKENDS, ids=[n for n, _ in BACKENDS])
+    def test_backend_validate_replays_identically(
+        self, sealed, small_universe, name, factory
+    ):
+        proposal, _ = sealed
+
+        def run():
+            tracer = Tracer()
+            with factory() as backend:
+                validator = ParallelValidator(
+                    config=ValidatorConfig(lanes=4), backend=backend, tracer=tracer
+                )
+                result = validator.validate_block(
+                    proposal.block, small_universe.genesis
+                )
+            assert result.accepted, result.reason
+            return (
+                bytes(result.post_state.state_root()),
+                [r.gas_used for r in result.tx_results],
+                result.tx_costs,
+                _normalized_trace(tracer),
+            )
+
+        first, second = run(), run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+        assert first[3] == second[3]
 
 
 class TestNetworkDeterminism:

@@ -1,9 +1,19 @@
 """Merkle-Patricia trie tests: semantics, structural sharing, root properties."""
 
+import random
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.hashing import keccak
+from repro.state.proofs import (
+    ProofError,
+    prove,
+    prove_secure,
+    verify_proof,
+    verify_secure,
+)
 from repro.state.trie import EMPTY_ROOT, MPT, SecureMPT
 
 
@@ -139,6 +149,165 @@ class TestPropertyBased:
             assert ta.root_hash() == tb.root_hash()
         else:
             assert ta.root_hash() != tb.root_hash()
+
+
+class TestRandomizedOps:
+    """Seeded op-sequence soak: the trie must track a plain dict exactly.
+
+    Long interleaved set/overwrite/delete runs are where structural bugs
+    (branch collapse, extension merging) hide; a dict is the reference
+    model and the insertion-order-invariant root is the cross-check.
+    """
+
+    KEYS = [f"acct-{i}".encode() for i in range(40)] + [
+        b"a",
+        b"ab",
+        b"abc",
+        b"abd",  # shared-prefix cluster to force extension splits
+    ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_random_ops_match_dict_reference(self, seed):
+        rng = random.Random(seed)
+        trie, model = MPT(), {}
+        for step in range(300):
+            key = rng.choice(self.KEYS)
+            if rng.random() < 0.3 and model:
+                key = rng.choice(list(model))
+                trie = trie.delete(key)
+                model.pop(key, None)
+            else:
+                value = f"v{step}".encode()
+                trie = trie.set(key, value)
+                model[key] = value
+            if step % 50 == 0:
+                assert len(trie) == len(model)
+        for key in self.KEYS:
+            assert trie.get(key) == model.get(key)
+        rebuilt = MPT()
+        for key in sorted(model):
+            rebuilt = rebuilt.set(key, model[key])
+        assert trie.root_hash() == rebuilt.root_hash()
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_random_ops_secure_variant(self, seed):
+        rng = random.Random(seed)
+        trie, model = SecureMPT(), {}
+        for step in range(200):
+            key = rng.choice(self.KEYS)
+            if rng.random() < 0.25 and model:
+                key = rng.choice(list(model))
+                trie = trie.delete(key)
+                model.pop(key, None)
+            else:
+                value = f"s{step}".encode()
+                trie = trie.set(key, value)
+                model[key] = value
+        for key in self.KEYS:
+            assert trie.get(key) == model.get(key)
+        assert trie.is_empty() == (not model)
+
+
+class TestUpdateMany:
+    def test_batch_equals_sequential_sets(self):
+        items = [(f"k{i}".encode(), f"v{i}".encode()) for i in range(25)]
+        batched = SecureMPT().update_many(items)
+        sequential = SecureMPT()
+        for key, value in items:
+            sequential = sequential.set(key, value)
+        assert batched.root_hash() == sequential.root_hash()
+
+    def test_empty_value_deletes_in_batch(self):
+        base = SecureMPT().set(b"keep", b"1").set(b"drop", b"2")
+        updated = base.update_many([(b"drop", b"")])
+        assert updated.get(b"drop") is None
+        assert updated.get(b"keep") == b"1"
+        assert updated.root_hash() == SecureMPT().set(b"keep", b"1").root_hash()
+
+    def test_noop_batch_preserves_identity(self):
+        base = SecureMPT().set(b"k", b"v")
+        assert base.update_many([]) is base
+        # deleting an absent key leaves the underlying trie untouched
+        assert base.update_many([(b"ghost", b"")]) is base
+        # rewriting an equal value rebuilds the path but keeps the root
+        assert base.update_many([(b"k", b"v")]).root_hash() == base.root_hash()
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_value_dicts())
+    def test_batch_matches_sequential_for_any_mapping(self, mapping):
+        items = list(mapping.items())
+        batched = SecureMPT().update_many(items)
+        sequential = SecureMPT()
+        for key, value in items:
+            sequential = sequential.set(key, value)
+        assert batched.root_hash() == sequential.root_hash()
+
+
+class TestProofs:
+    def _populated(self):
+        trie = MPT()
+        for i in range(20):
+            trie = trie.set(f"key-{i}".encode(), f"value-{i}".encode())
+        return trie
+
+    def test_inclusion_proof_round_trips(self):
+        trie = self._populated()
+        root = trie.root_hash()
+        for i in (0, 7, 19):
+            key = f"key-{i}".encode()
+            proof = prove(trie, key)
+            assert verify_proof(root, key, proof) == f"value-{i}".encode()
+
+    def test_exclusion_proof_returns_none(self):
+        trie = self._populated()
+        proof = prove(trie, b"absent")
+        assert verify_proof(trie.root_hash(), b"absent", proof) is None
+
+    def test_empty_trie_exclusion(self):
+        assert verify_proof(EMPTY_ROOT, b"anything", []) is None
+
+    def test_tampered_node_rejected(self):
+        trie = self._populated()
+        proof = prove(trie, b"key-3")
+        tampered = list(proof)
+        tampered[0] = tampered[0][:-1] + bytes([tampered[0][-1] ^ 0x01])
+        with pytest.raises(ProofError):
+            verify_proof(trie.root_hash(), b"key-3", tampered)
+
+    def test_truncated_proof_rejected(self):
+        trie = self._populated()
+        proof = prove(trie, b"key-3")
+        assert len(proof) > 1, "need a multi-node path to truncate"
+        with pytest.raises(ProofError):
+            verify_proof(trie.root_hash(), b"key-3", proof[:-1])
+
+    def test_proof_against_wrong_root_rejected(self):
+        trie = self._populated()
+        other = trie.set(b"key-0", b"changed")
+        proof = prove(trie, b"key-0")
+        with pytest.raises(ProofError):
+            verify_proof(other.root_hash(), b"key-0", proof)
+
+    def test_secure_proofs_round_trip(self):
+        trie = SecureMPT()
+        for i in range(10):
+            trie = trie.set(f"acct{i}".encode(), f"data{i}".encode())
+        root = trie.root_hash()
+        proof = prove_secure(trie, b"acct4")
+        assert verify_secure(root, b"acct4", proof) == b"data4"
+        assert verify_secure(root, b"ghost", prove_secure(trie, b"ghost")) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(key_value_dicts())
+    def test_every_key_proves_for_any_mapping(self, mapping):
+        trie = MPT()
+        for key, value in mapping.items():
+            trie = trie.set(key, value)
+        root = trie.root_hash()
+        for key, value in mapping.items():
+            assert verify_proof(root, key, prove(trie, key)) == value
+        missing = b"\xff" * 9  # longer than any generated key
+        assert verify_proof(root, missing, prove(trie, missing)) is None
 
 
 class TestSecureMPT:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all test-fast test-faults check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults test-store serve-demo check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -20,6 +20,18 @@ test-fast:
 # everything tagged @pytest.mark.faults, wherever it lives
 test-faults:
 	$(PYTHON) -m pytest tests benchmarks -m faults -q
+
+# durable-storage engine: block log, snapshots, recovery, kill-and-resume
+test-store:
+	$(PYTHON) -m pytest tests benchmarks -m store -q
+
+# run a persistent node for 20 blocks against ./serve-demo-data, then resume
+# it (second run recovers from disk and produces nothing new)
+serve-demo:
+	$(PYTHON) -m repro --txs-per-block 40 serve --data-dir serve-demo-data \
+		--blocks 20 --snapshot-interval 8 --report-every 5
+	$(PYTHON) -m repro --txs-per-block 40 serve --data-dir serve-demo-data \
+		--blocks 20 --snapshot-interval 8
 
 # conformance suite (repro.check): serializability + differential oracles
 # over freshly proposed blocks — exits non-zero on any violation
@@ -53,7 +65,8 @@ bench-json:
 		benchmarks/bench_fig9_multiblock.py \
 		benchmarks/bench_obs_overhead.py \
 		benchmarks/bench_wallclock_backends.py \
-		benchmarks/bench_hotpath.py -q
+		benchmarks/bench_hotpath.py \
+		benchmarks/bench_store.py -q
 
 # hot-path cache/index microbenches only (ISSUE 4): deterministic op-count
 # speedups for the txpool index, batched commit, and artifact reuse
@@ -86,6 +99,6 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results/.fresh \
-		.coverage coverage.xml .mypy_cache .ruff_cache
+		.coverage coverage.xml .mypy_cache .ruff_cache serve-demo-data
 	find benchmarks/results -type f ! -name 'BENCH_*.json' -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

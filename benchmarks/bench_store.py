@@ -1,0 +1,151 @@
+"""Durable store benchmarks (ISSUE 6): snapshot latency + recovery time.
+
+Headline numbers, emitted as ``BENCH_store.json``:
+
+* ``append_us_per_block`` — mean DiskStore commit-path latency per block
+  (log append + manifest advance, no snapshot);
+* ``snapshot_us`` — mean full-state snapshot write latency;
+* ``recovery_us_replay`` — recovering a dir whose whole chain lives in
+  the log tail (every block re-executed and root-verified);
+* ``recovery_us_snapshot`` — recovering a dir where a snapshot covers
+  the chain (replay length ~0);
+* ``replay_blocks`` — how many blocks the replay path re-executed.
+
+All wall-clock (direction 0 metadata keeps these out of the regression
+gate — disk latency is host noise); what the committed tests gate is the
+*correctness* of recovery, not its speed.  MemoryStore perf-neutrality is
+gated separately: the deterministic op-count goldens in
+``BENCH_hotpath.json`` & friends run on chains without any store wired.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, emit_json
+from repro.analysis.report import format_table
+from repro.chain.blockchain import Blockchain
+from repro.obs.metrics import MetricsRegistry
+from repro.store import DiskStore, encode_header, recover
+
+pytestmark = pytest.mark.store
+
+
+def _populate(data_dir, genesis_state, pairs, *, snapshot_interval, metrics=None):
+    store = DiskStore(
+        str(data_dir),
+        fsync=False,
+        snapshot_interval=snapshot_interval,
+        metrics=metrics,
+    )
+    chain = Blockchain(genesis_state, store=store)
+    store.initialize(encode_header(chain.genesis.header), genesis_state)
+    for block, post_state in pairs:
+        chain.add_block(block, post_state)
+    store.seal()
+    store.close()
+
+
+def test_store_durability_latency(bench_universe, bench_chain, tmp_path, capsys):
+    pairs = [(entry.block, None) for entry in bench_chain]
+    # re-derive post-states serially once (bench_chain keeps parent states)
+    from repro.core.baselines import SerialExecutor
+
+    serial = SerialExecutor()
+    resolved = []
+    for entry in bench_chain:
+        sres = serial.execute_block(entry.block, entry.parent_state)
+        resolved.append((entry.block, sres.post_state))
+
+    # --- append path (no snapshots beyond genesis) --------------------- #
+    metrics = MetricsRegistry()
+    log_dir = tmp_path / "log-only"
+    started = time.perf_counter()
+    _populate(
+        log_dir, bench_universe.genesis, resolved, snapshot_interval=0,
+        metrics=metrics,
+    )
+    append_total_us = (time.perf_counter() - started) * 1e6
+    append_us = append_total_us / len(resolved)
+
+    # --- snapshot path (snapshot every 4 blocks) ----------------------- #
+    snap_metrics = MetricsRegistry()
+    snap_dir = tmp_path / "snapshots"
+    _populate(
+        snap_dir, bench_universe.genesis, resolved, snapshot_interval=4,
+        metrics=snap_metrics,
+    )
+    snap = snap_metrics.snapshot()
+    snapshots_written = snap["counters"].get("store.snapshots", 0)
+    snapshot_us = (
+        snap["histograms"]["store.snapshot_us"]["mean"] if snapshots_written else 0.0
+    )
+
+    # --- recovery: full replay vs snapshot boot ------------------------ #
+    replay_metrics = MetricsRegistry()
+    started = time.perf_counter()
+    result_replay = recover(
+        str(log_dir), bench_universe.genesis, fsync=False, metrics=replay_metrics
+    )
+    recovery_replay_us = (time.perf_counter() - started) * 1e6
+    result_replay.log.close()
+
+    started = time.perf_counter()
+    result_snap = recover(str(snap_dir), bench_universe.genesis, fsync=False)
+    recovery_snapshot_us = (time.perf_counter() - started) * 1e6
+    result_snap.log.close()
+
+    assert result_replay.chain.head.hash == result_snap.chain.head.hash
+    assert result_replay.replayed == len(resolved)
+
+    rows = [
+        {
+            "path": "append (log only)",
+            "per_block_us": round(append_us, 1),
+            "notes": f"{len(resolved)} blocks",
+        },
+        {
+            "path": "snapshot write",
+            "per_block_us": round(snapshot_us, 1),
+            "notes": f"{snapshots_written} snapshots",
+        },
+        {
+            "path": "recovery (full replay)",
+            "per_block_us": round(recovery_replay_us / len(resolved), 1),
+            "notes": f"replayed {result_replay.replayed}",
+        },
+        {
+            "path": "recovery (snapshot boot)",
+            "per_block_us": round(
+                recovery_snapshot_us / max(1, result_snap.replayed + 1), 1
+            ),
+            "notes": f"replayed {result_snap.replayed}",
+        },
+    ]
+    emit(
+        capsys,
+        "store_durability",
+        format_table(rows, title="durable store: commit + recovery latency"),
+    )
+    emit_json(
+        "store",
+        {
+            "append_us_per_block": round(append_us, 1),
+            "snapshot_us": round(snapshot_us, 1),
+            "recovery_us_replay": round(recovery_replay_us, 1),
+            "recovery_us_snapshot": round(recovery_snapshot_us, 1),
+            "replay_blocks": result_replay.replayed,
+        },
+        metrics={
+            # wall-clock numbers: informational, never gated (direction 0)
+            "append_us_per_block": {"direction": 0},
+            "snapshot_us": {"direction": 0},
+            "recovery_us_replay": {"direction": 0},
+            "recovery_us_snapshot": {"direction": 0},
+            "replay_blocks": {"direction": 0},
+        },
+        config={"blocks": len(resolved), "snapshot_interval": 4, "fsync": False},
+    )
+    shutil.rmtree(log_dir, ignore_errors=True)
+    shutil.rmtree(snap_dir, ignore_errors=True)

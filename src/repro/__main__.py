@@ -11,6 +11,7 @@ Usage::
     python -m repro check                      # conformance oracles over a chain
     python -m repro check failing.json         # replay fuzzer repro schedules
     python -m repro fuzz --schedules 200       # schedule fuzzer (repro.check)
+    python -m repro serve --data-dir ./node    # durable long-running node
 
 All subcommands run on a freshly generated universe; ``--seed``,
 ``--txs-per-block`` and ``--blocks-per-point`` control workload size.
@@ -335,6 +336,36 @@ def cmd_fuzz(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the durable node: recover the data dir, produce blocks, seal."""
+    from repro.faults.storage import CrashPlan
+    from repro.obs import MetricsRegistry
+    from repro.store.service import NodeService, ServeConfig
+
+    cfg = ServeConfig(
+        data_dir=args.data_dir,
+        seed=args.seed,
+        txs_per_block=args.txs_per_block,
+        max_height=args.blocks,
+        block_interval=args.block_interval,
+        snapshot_interval=args.snapshot_interval,
+        compact=not args.no_compact,
+        fsync=not args.no_fsync,
+        report_every=args.report_every,
+    )
+    service = NodeService(
+        cfg,
+        backend=args.exec_backend,
+        metrics=MetricsRegistry(),
+        crash=CrashPlan.from_env(),
+    )
+    report = service.run()
+    if service.recovery is not None and not service.recovery.fresh:
+        print(service.recovery_summary)
+    print(report.summary())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -412,6 +443,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default=None, help="write failing schedules to this JSON file"
     )
+    p = sub.add_parser(
+        "serve",
+        help="durable long-running node: block log + snapshots + recovery",
+    )
+    p.add_argument(
+        "--data-dir", required=True, help="directory for log/snapshots/manifest"
+    )
+    p.add_argument(
+        "--blocks",
+        type=int,
+        default=0,
+        help="stop once the chain reaches this height (0 = run until signal)",
+    )
+    p.add_argument(
+        "--block-interval",
+        type=int,
+        default=12,
+        help="simulated seconds between blocks (header-timestamp step)",
+    )
+    p.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=64,
+        help="write a full state snapshot every N canonical blocks",
+    )
+    p.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="keep the full block log (skip post-snapshot compaction)",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync calls (faster; durable only against process death)",
+    )
+    p.add_argument(
+        "--report-every",
+        type=int,
+        default=0,
+        help="print a progress line every N blocks (0 = quiet)",
+    )
     return parser
 
 
@@ -424,6 +496,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "check": cmd_check,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
 }
 
 
@@ -433,6 +506,14 @@ def main(argv=None) -> int:
     args.exec_backend = get_backend(args.backend, args.workers)
     try:
         return COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # `serve` installs its own SIGINT handler and seals first; every
+        # other command just stops cleanly with the conventional code
+        print(
+            f"interrupted: {args.command} stopped before finishing (exit 130)",
+            file=sys.stderr,
+        )
+        return 130
     finally:
         if args.exec_backend is not None:
             args.exec_backend.close()

@@ -12,12 +12,15 @@ canonical chain are tracked as uncle candidates (§3.4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.hashing import Hash32
 from repro.common.types import Address
 from repro.chain.block import Block, BlockHeader, receipts_root, transactions_root
 from repro.state.statedb import StateSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.backend import StorageBackend
 
 __all__ = ["Blockchain", "ChainError"]
 
@@ -31,7 +34,12 @@ class ChainError(Exception):
 class Blockchain:
     """Stores blocks and their post-state snapshots; tracks the canonical head."""
 
-    def __init__(self, genesis_state: StateSnapshot) -> None:
+    def __init__(
+        self,
+        genesis_state: StateSnapshot,
+        *,
+        store: Optional["StorageBackend"] = None,
+    ) -> None:
         genesis_header = BlockHeader(
             parent_hash=GENESIS_PARENT,
             number=0,
@@ -44,17 +52,55 @@ class Blockchain:
             timestamp=0,
             proposer_id="genesis",
         )
-        self.genesis = Block(genesis_header, ())
-        self._blocks: Dict[Hash32, Block] = {self.genesis.hash: self.genesis}
-        self._states: Dict[Hash32, StateSnapshot] = {
-            self.genesis.hash: genesis_state
-        }
-        self._by_height: Dict[int, List[Hash32]] = {0: [self.genesis.hash]}
+        self._seed(Block(genesis_header, ()), genesis_state, store)
+
+    def _seed(
+        self,
+        base: Block,
+        base_state: StateSnapshot,
+        store: Optional["StorageBackend"],
+    ) -> None:
+        """Initialise all indices with ``base`` as the oldest known block."""
+        self.genesis = base
+        self._blocks: Dict[Hash32, Block] = {base.hash: base}
+        self._states: Dict[Hash32, StateSnapshot] = {base.hash: base_state}
+        self._by_height: Dict[int, List[Hash32]] = {base.number: [base.hash]}
         # tx hash -> (block hash, index) for canonical-and-fork lookup
         self._tx_index: Dict[Hash32, List[tuple]] = {}
-        self._arrival: Dict[Hash32, int] = {self.genesis.hash: 0}
+        self._arrival: Dict[Hash32, int] = {base.hash: 0}
         self._arrival_counter = 1
-        self._head: Hash32 = self.genesis.hash
+        self._head: Hash32 = base.hash
+        #: base height of this view — 0 for full chains, the snapshot
+        #: height for checkpoint-bootstrapped chains (history below it
+        #: is durable on disk but not resident in memory)
+        self.base_height: int = base.number
+        self._store: Optional["StorageBackend"] = store
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        header: BlockHeader,
+        state: StateSnapshot,
+        *,
+        store: Optional["StorageBackend"] = None,
+    ) -> "Blockchain":
+        """Bootstrap a chain view from a durable ``(header, state)`` pair.
+
+        Used by :mod:`repro.store.recovery` when restarting from a
+        snapshot taken at height > 0: the checkpoint block becomes the
+        oldest resident block (``genesis`` here means *base of the
+        in-memory view*, not height 0).  Queries below the checkpoint
+        return ``None`` rather than walking off the resident window.
+        """
+        if state.state_root() != header.state_root:
+            raise ChainError("checkpoint state does not match header root")
+        self = cls.__new__(cls)
+        self._seed(Block(header, ()), state, store)
+        return self
+
+    def attach_store(self, store: Optional["StorageBackend"]) -> None:
+        """Set the storage backend notified on every future insertion."""
+        self._store = store
 
     # ------------------------------------------------------------------ #
     # queries                                                            #
@@ -99,12 +145,14 @@ class Blockchain:
         return chain
 
     def canonical_hash_at(self, number: int) -> Optional[Hash32]:
-        cursor = self.head
-        if number > cursor.number:
+        cursor: Optional[Block] = self.head
+        if cursor is None or number > cursor.number:
             return None
-        while cursor.number > number:
-            cursor = self._blocks[cursor.header.parent_hash]
-        return cursor.hash
+        while cursor is not None and cursor.number > number:
+            # .get: checkpoint-bootstrapped chains hold no blocks below
+            # their base height
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        return cursor.hash if cursor is not None else None
 
     def uncles_at(self, number: int) -> List[Block]:
         """Known same-height siblings of the canonical block (§3.4)."""
@@ -210,7 +258,9 @@ class Blockchain:
         self._arrival_counter += 1
 
         # fork choice: longest chain, earliest arrival breaks ties
-        if block.number > self.head.number:
+        became_head = block.number > self.head.number
+        if became_head:
             self._head = block.hash
-            return True
-        return False
+        if self._store is not None:
+            self._store.on_block(block, post_state, head=became_head)
+        return became_head

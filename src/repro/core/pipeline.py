@@ -159,6 +159,10 @@ class ValidatorPipeline:
             artifacts=self.artifacts,
         )
 
+    def close(self) -> None:
+        """Drop cached artifacts — bounds memory in long-running services."""
+        self.artifacts.clear()
+
     # ------------------------------------------------------------------ #
 
     def process_blocks(

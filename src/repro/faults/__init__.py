@@ -14,11 +14,16 @@ Layout:
   corruption, worker crashes/stalls) and :class:`FaultyChannel` (drop,
   duplicate, reorder, bounded delay);
 * :mod:`repro.faults.scenarios` — a named scenario per failure variant,
-  each driving the fault through the *public* validator/pipeline/node API.
+  each driving the fault through the *public* validator/pipeline/node API;
+* :mod:`repro.faults.storage` — deterministic storage faults for the
+  durability engine: :class:`CrashPlan` crash points fired inside the
+  :mod:`repro.store` commit path, plus tamper helpers (torn tails, byte
+  flips, lost fsync windows) for recovery-detection tests.
 """
 
 from repro.faults.errors import FailureReason, ValidationFailure, WorkerFault
 from repro.faults.injector import FaultConfig, FaultInjector, FaultyChannel
+from repro.faults.storage import CrashPlan
 
 __all__ = [
     "FailureReason",
@@ -27,4 +32,5 @@ __all__ = [
     "FaultConfig",
     "FaultInjector",
     "FaultyChannel",
+    "CrashPlan",
 ]

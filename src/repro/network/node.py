@@ -139,12 +139,15 @@ class ValidatorNode:
         injector: Optional[FaultInjector] = None,
         quarantine_threshold: int = 3,
         txpool: Optional[TxPool] = None,
+        chain: Optional[Blockchain] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
     ) -> None:
         self.node_id = node_id
-        self.chain = Blockchain(genesis_state)
+        # an injected chain lets long-running services hand the node a
+        # recovered (and store-attached) chain instead of a fresh one
+        self.chain = chain if chain is not None else Blockchain(genesis_state)
         self.tracer = tracer.for_process(node_id) if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.pipeline = ValidatorPipeline(

@@ -9,6 +9,7 @@ fixtures for cross-version regression checks.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict
 
@@ -16,7 +17,22 @@ from repro.common.types import Address
 from repro.state.account import AccountData
 from repro.state.statedb import StateSnapshot, genesis_snapshot
 
-__all__ = ["snapshot_to_json", "snapshot_from_json", "SnapshotFormatError"]
+__all__ = [
+    "snapshot_to_json",
+    "snapshot_from_json",
+    "SnapshotFormatError",
+    "text_digest",
+]
+
+
+def text_digest(text: str) -> str:
+    """SHA-256 of a serialised document's bytes (UTF-8).
+
+    The integrity digest recorded for snapshot files by
+    :mod:`repro.store`: an exported world is re-importable iff its bytes
+    still hash to what the manifest remembered.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 FORMAT_VERSION = 1
 

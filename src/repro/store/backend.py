@@ -1,0 +1,295 @@
+"""Storage backends: the persistence seam behind :class:`Blockchain`.
+
+:class:`StorageBackend` is the protocol the chain talks to on every
+committed block.  Two implementations:
+
+* :class:`MemoryStore` — does nothing.  The default for every existing
+  test, benchmark and figure script; the in-memory behaviour (and cost)
+  of the chain is exactly what it was before the storage engine existed.
+* :class:`DiskStore` — the durable engine.  Every block appends one
+  checksummed record to the block log; every ``snapshot_interval``
+  canonical blocks a full state snapshot is written; and the manifest is
+  atomically advanced *after* the data it describes is fsynced, which
+  makes the manifest write the commit point:
+
+  ``append (fsync) → [snapshot (fsync)] → manifest (rename) → [compact]``
+
+  A crash anywhere in that sequence loses at most the not-yet-manifested
+  suffix, which recovery re-derives from the log itself.  Compaction
+  rewrites the post-snapshot tail into a *new generation* log file and
+  repoints the manifest before deleting the old one, so even a crash
+  mid-compaction leaves one fully intact log on disk.
+
+The ``crash`` hook threads :class:`repro.faults.CrashPlan` through the
+commit path — the storage-fault tests die at exact bytes of this
+sequence and assert recovery rebuilds an identical chain.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol
+
+from repro.chain.block import Block
+from repro.state.statedb import StateSnapshot
+from repro.store.blocklog import RECORD_HEADER, BlockLog
+from repro.store.codec import encode_block, encode_header
+from repro.store.manifest import Manifest, SnapshotRef
+from repro.store.snapshots import write_snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.storage import CrashPlan
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["StorageBackend", "MemoryStore", "DiskStore", "SNAPSHOT_US_EDGES"]
+
+#: Histogram edges for ``store.snapshot_us`` / ``store.commit_us`` (µs).
+SNAPSHOT_US_EDGES = (0.0, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7)
+
+DEFAULT_LOG_NAME = "blocks.log"
+
+
+class StorageBackend(Protocol):
+    """What the chain needs from a store (see module docs)."""
+
+    def on_block(self, block: Block, post_state: StateSnapshot, *, head: bool) -> None:
+        """Persist one committed block (``head`` = became canonical head)."""
+        ...
+
+    def flush(self) -> None:
+        """Make everything buffered durable without sealing."""
+        ...
+
+    def seal(self) -> None:
+        """Graceful shutdown: flush and mark the manifest clean."""
+        ...
+
+    def close(self) -> None:
+        """Release file handles (no durability implications)."""
+        ...
+
+
+class MemoryStore:
+    """The null store — current in-memory behaviour, zero overhead."""
+
+    def on_block(self, block: Block, post_state: StateSnapshot, *, head: bool) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def seal(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class DiskStore:
+    """Append-only block log + periodic snapshots + atomic manifest."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        snapshot_interval: int = 64,
+        compact: bool = True,
+        fsync: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+        crash: Optional["CrashPlan"] = None,
+    ) -> None:
+        self.data_dir = data_dir
+        self.snapshot_interval = snapshot_interval
+        self.compact = compact
+        self.fsync = fsync
+        self.metrics = metrics
+        self.crash = crash
+        self.manifest = Manifest()
+        self.log: Optional[BlockLog] = None
+        self._sealed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def initialize(
+        self,
+        genesis_header_bytes: bytes,
+        genesis_state: StateSnapshot,
+        *,
+        serve: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Create a fresh data dir: genesis snapshot + open manifest."""
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.log = BlockLog(
+            os.path.join(self.data_dir, DEFAULT_LOG_NAME), fsync=self.fsync
+        )
+        filename, digest = write_snapshot(
+            self.data_dir, 0, genesis_state, fsync=self.fsync
+        )
+        root_hex = bytes(genesis_state.state_root()).hex()
+        self.manifest = Manifest(
+            height=0,
+            head_hash="",
+            state_root=root_hex,
+            log_start_height=1,
+            log_bytes=self.log.size,
+            snapshot=SnapshotRef(
+                file=filename,
+                height=0,
+                state_root=root_hex,
+                sha256=digest,
+                header=genesis_header_bytes.hex(),
+            ),
+            clean=False,
+            serve=dict(serve or {}),
+        )
+        self.manifest.write(self.data_dir, fsync=self.fsync)
+
+    def adopt(self, manifest: Manifest, log: BlockLog) -> None:
+        """Take over a recovered data dir (recovery already verified it)."""
+        self.manifest = manifest
+        self.log = log
+        self.manifest.log_bytes = log.size
+        self.manifest.clean = False
+        self.manifest.write(self.data_dir, fsync=self.fsync)
+
+    # ------------------------------------------------------------------ #
+    # the commit path
+    # ------------------------------------------------------------------ #
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def on_block(self, block: Block, post_state: StateSnapshot, *, head: bool) -> None:
+        if self.log is None:
+            raise RuntimeError("DiskStore used before initialize()/adopt()")
+        started = time.perf_counter()
+        height = block.number
+        crash = self.crash
+
+        # 1. block record → log (durable before anything references it)
+        if crash is not None and crash.is_armed("torn_append", height):
+            record_len = len(encode_block(block)) + RECORD_HEADER.size
+            self.log.append(block, tear_after=crash.tear_bytes(height, record_len))
+            crash.fire("torn_append", height)  # always exits here
+        before = self.log.size
+        self.log.append(block)
+        self._count("store.blocks_appended")
+        self._count("store.bytes_appended", self.log.size - before)
+        if crash is not None:
+            crash.fire("after_append", height)
+
+        # 2. periodic canonical-state snapshot
+        if (
+            head
+            and self.snapshot_interval > 0
+            and height % self.snapshot_interval == 0
+        ):
+            snap_started = time.perf_counter()
+            filename, digest = write_snapshot(
+                self.data_dir, height, post_state, fsync=self.fsync
+            )
+            self.manifest.snapshot = SnapshotRef(
+                file=filename,
+                height=height,
+                state_root=bytes(post_state.state_root()).hex(),
+                sha256=digest,
+                header=encode_header(block.header).hex(),
+            )
+            self._count("store.snapshots")
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "store.snapshot_us", SNAPSHOT_US_EDGES
+                ).observe((time.perf_counter() - snap_started) * 1e6)
+            if crash is not None:
+                crash.fire("after_snapshot", height)
+
+        # 3. manifest advance — the commit point for this block
+        if head:
+            self.manifest.height = height
+            self.manifest.head_hash = bytes(block.hash).hex()
+            self.manifest.state_root = bytes(block.header.state_root).hex()
+        self.manifest.log_bytes = self.log.size
+        self.manifest.write(self.data_dir, fsync=self.fsync)
+        self._count("store.manifest_writes")
+        if crash is not None:
+            crash.fire("after_manifest", height)
+
+        # 4. drop the log prefix the latest snapshot has superseded
+        if (
+            self.compact
+            and self.manifest.snapshot is not None
+            and self.manifest.snapshot.height >= self.manifest.log_start_height
+        ):
+            self._compact(self.manifest.snapshot.height)
+
+        if self.metrics is not None:
+            self.metrics.histogram("store.commit_us", SNAPSHOT_US_EDGES).observe(
+                (time.perf_counter() - started) * 1e6
+            )
+
+    def _compact(self, horizon: int) -> None:
+        """Keep only records above ``horizon`` in a new-generation log file.
+
+        Crash-safe: the new file is fully written and fsynced, then the
+        manifest is atomically repointed at it, and only then is the old
+        generation deleted.  Any crash in between leaves a manifest that
+        references exactly one intact log.
+        """
+        assert self.log is not None
+        old_path = self.log.path
+        survivors = [b for _, b in self.log.scan() if b.number > horizon]
+        new_name = f"blocks_{horizon:08d}.log"
+        new_path = os.path.join(self.data_dir, new_name)
+        new_log = BlockLog(new_path, fsync=self.fsync)
+        dropped = 0
+        for block in survivors:
+            new_log.append(block)
+        dropped = self.manifest.height - horizon  # informational only
+        self.manifest.log_start_height = horizon + 1
+        self.manifest.log_bytes = new_log.size
+        self.manifest.log_file = new_name
+        self.manifest.write(self.data_dir, fsync=self.fsync)
+        self.log.close()
+        if os.path.abspath(old_path) != os.path.abspath(new_path):
+            os.remove(old_path)
+        self.log = new_log
+        self._count("store.compactions")
+        self._count("store.compacted_blocks", max(dropped, 0))
+        self._prune_snapshots()
+
+    def _prune_snapshots(self) -> None:
+        """Delete snapshot files older than the one the manifest references."""
+        keep = self.manifest.snapshot.file if self.manifest.snapshot else None
+        for name in os.listdir(self.data_dir):
+            if (
+                name.startswith("snapshot_")
+                and name.endswith(".json")
+                and name != keep
+            ):
+                os.remove(os.path.join(self.data_dir, name))
+
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        if self.log is not None:
+            self.manifest.log_bytes = self.log.size
+            self.manifest.write(self.data_dir, fsync=self.fsync)
+
+    def seal(self) -> None:
+        """Graceful shutdown: everything durable, manifest marked clean."""
+        if self.crash is not None:
+            self.crash.fire("before_seal", self.manifest.height)
+        if self.log is not None:
+            self.manifest.log_bytes = self.log.size
+        self.manifest.clean = True
+        self.manifest.write(self.data_dir, fsync=self.fsync)
+        self._sealed = True
+
+    def close(self) -> None:
+        if self.log is not None:
+            self.log.close()
+            self.log = None

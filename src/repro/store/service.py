@@ -1,0 +1,303 @@
+"""``python -m repro serve`` — the long-running durable node driver.
+
+:class:`NodeService` runs the full proposer→validator round trip on the
+simulated block clock (header timestamps advance by ``block_interval``
+per height), persisting every accepted block through a
+:class:`~repro.store.backend.DiskStore`.  It is deliberately a *single
+deterministic trajectory*: the universe, the workload generator and the
+proposal path are all seeded, so
+
+* an uninterrupted run to height ``H``, and
+* any sequence of kill → restart → resume runs reaching height ``H``
+
+produce byte-identical chains (the kill-and-resume tests assert this via
+:func:`repro.store.codec.chain_digest` / the head hash, which transitively
+commits to every header, transaction and receipt before it).
+
+Resume correctness hinges on two things this module owns:
+
+1. **Config pinning** — the serve parameters (seed, txs per block, block
+   interval, …) are written into the manifest on first start; resuming
+   with different values is refused with
+   :class:`~repro.store.errors.ConfigMismatchError` rather than allowed
+   to fork the trajectory silently.
+2. **Generator fast-forward** — the workload generator is stateful (its
+   RNG stream and the universe's nonce map advance per block), so on
+   resume the service regenerates the transactions of every
+   already-durable height and checks them against the recovered blocks
+   before producing new ones.
+
+Signals: SIGINT and SIGTERM both stop the loop at the next block
+boundary, then seal the manifest (clean shutdown).  The CLI maps SIGINT
+to exit code 130 and SIGTERM/target-reached to 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.network.node import ProposerNode, ValidatorNode
+from repro.store import open_store
+from repro.store.backend import DiskStore
+from repro.store.errors import ConfigMismatchError, StoreError
+from repro.store.recovery import RecoveryResult
+from repro.workload.generator import BlockWorkloadGenerator
+from repro.workload.scenarios import mainnet_scenario
+from repro.workload.universe import build_universe
+
+__all__ = ["ServeConfig", "ServeReport", "NodeService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that pins a serve trajectory (stored in the manifest)."""
+
+    data_dir: str
+    seed: int = 42
+    txs_per_block: int = 132
+    #: stop after the chain reaches this height (0 = run until signalled)
+    max_height: int = 0
+    #: simulated seconds between blocks (header-timestamp step)
+    block_interval: int = 12
+    snapshot_interval: int = 64
+    compact: bool = True
+    fsync: bool = True
+    #: print a progress line every N blocks (0 = quiet)
+    report_every: int = 0
+
+    def pinned(self) -> Dict[str, Any]:
+        """The subset a resume must match exactly."""
+        return {
+            "seed": self.seed,
+            "txsPerBlock": self.txs_per_block,
+            "blockInterval": self.block_interval,
+            "snapshotInterval": self.snapshot_interval,
+        }
+
+
+@dataclass
+class ServeReport:
+    """What one serve session did."""
+
+    height: int
+    head_hash: str
+    state_root: str
+    produced: int
+    resumed_from: int
+    sealed: bool
+    stop_signal: Optional[int] = None
+    healed: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        # the conventional 128+signum for SIGINT; clean otherwise
+        return 130 if self.stop_signal == signal.SIGINT else 0
+
+    def summary(self) -> str:
+        how = (
+            f"signal {signal.Signals(self.stop_signal).name}"
+            if self.stop_signal
+            else "target height"
+        )
+        return (
+            f"serve: height={self.height} produced={self.produced} "
+            f"resumed_from={self.resumed_from} head={self.head_hash[:12]}… "
+            f"sealed={self.sealed} stopped_by={how}"
+        )
+
+
+class NodeService:
+    """Owns the serve loop: recover → fast-forward → produce → seal."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        backend: Any = None,
+        metrics: Any = None,
+        crash: Any = None,
+    ) -> None:
+        self.config = config
+        self.backend = backend
+        self.metrics = metrics
+        self.crash = crash
+        self._stop_signal: Optional[int] = None
+        self.store: Optional[DiskStore] = None
+        self.recovery: Optional[RecoveryResult] = None
+        #: recovery summary captured before the loop advances the chain
+        self.recovery_summary: str = ""
+
+    # ------------------------------------------------------------------ #
+    # signals
+    # ------------------------------------------------------------------ #
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        self._stop_signal = signum
+
+    def install_signal_handlers(self) -> None:
+        self._previous_handlers = {
+            signal.SIGINT: signal.signal(signal.SIGINT, self._on_signal),
+            signal.SIGTERM: signal.signal(signal.SIGTERM, self._on_signal),
+        }
+
+    def restore_signal_handlers(self) -> None:
+        for signum, handler in getattr(self, "_previous_handlers", {}).items():
+            signal.signal(signum, handler)
+        self._previous_handlers = {}
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_signal is not None
+
+    # ------------------------------------------------------------------ #
+    # resume plumbing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_pinned(stored: Dict[str, Any], wanted: Dict[str, Any]) -> None:
+        if not stored:
+            # pre-existing dir written by a non-serve caller: nothing pinned
+            return
+        diffs = [
+            f"{key}: stored {stored.get(key)!r} != requested {value!r}"
+            for key, value in wanted.items()
+            if stored.get(key) != value
+        ]
+        if diffs:
+            raise ConfigMismatchError(
+                "data dir was produced with different serve parameters — "
+                + "; ".join(diffs)
+            )
+
+    def _fast_forward(
+        self, generator: BlockWorkloadGenerator, chain: Any, height: int
+    ) -> None:
+        """Advance the generator's RNG/nonce state past durable blocks.
+
+        For every height still resident in memory the regenerated
+        transactions are compared against the recovered block — a
+        mismatch means the workload trajectory diverged (wrong seed or a
+        tampered log that still re-executes) and resuming would fork.
+        """
+        for number in range(1, height + 1):
+            txs = generator.generate_block_txs()
+            if number <= chain.base_height:
+                # at/below the snapshot horizon: the checkpoint block is a
+                # body-less header, there is nothing to compare against
+                continue
+            block_hash = chain.canonical_hash_at(number)
+            block = chain.block(block_hash) if block_hash is not None else None
+            if block is None:
+                continue
+            # the proposer reorders (OCC commit order) and may drop txs,
+            # so membership — not sequence equality — is the invariant
+            generated = {bytes(tx.hash) for tx in txs}
+            strangers = [
+                tx for tx in block.transactions if bytes(tx.hash) not in generated
+            ]
+            if strangers:
+                raise ConfigMismatchError(
+                    f"recovered block at height {number} carries "
+                    f"{len(strangers)} transactions the regenerated workload "
+                    "never produced — refusing to fork the trajectory"
+                )
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, *, handle_signals: bool = True) -> ServeReport:
+        cfg = self.config
+        if handle_signals:
+            self.install_signal_handlers()
+
+        universe = build_universe()
+        workload = dataclasses.replace(
+            mainnet_scenario(seed=cfg.seed), txs_per_block=cfg.txs_per_block
+        )
+        generator = BlockWorkloadGenerator(universe, workload)
+
+        chain, store, recovery = open_store(
+            cfg.data_dir,
+            universe.genesis,
+            snapshot_interval=cfg.snapshot_interval,
+            compact=cfg.compact,
+            fsync=cfg.fsync,
+            serve=cfg.pinned(),
+            metrics=self.metrics,
+            crash=self.crash,
+        )
+        self.store = store
+        self.recovery = recovery
+        self.recovery_summary = recovery.summary()
+        self._check_pinned(recovery.manifest.serve, cfg.pinned())
+        resumed_from = chain.height()
+        self._fast_forward(generator, chain, resumed_from)
+
+        proposer = ProposerNode(
+            "serve-proposer", metrics=self.metrics, backend=self.backend
+        )
+        validator = ValidatorNode(
+            "serve-validator",
+            universe.genesis,
+            chain=chain,
+            metrics=self.metrics,
+            backend=self.backend,
+        )
+
+        produced = 0
+        started = time.perf_counter()
+        try:
+            while not self.stopping:
+                if cfg.max_height and chain.height() >= cfg.max_height:
+                    break
+                head = chain.head
+                parent_state = chain.state_at(head.hash)
+                assert parent_state is not None
+                txs = generator.generate_block_txs()
+                sealed = proposer.build_block(
+                    head.header,
+                    parent_state,
+                    txs,
+                    timestamp=head.header.timestamp + cfg.block_interval,
+                )
+                outcome = validator.receive_blocks([sealed.block])
+                if not outcome.accepted:
+                    failure = next((f for f in outcome.failures if f), None)
+                    raise StoreError(
+                        f"own proposal at height {head.number + 1} rejected: "
+                        f"{failure.reason.value if failure else 'unknown'}"
+                    )
+                produced += 1
+                if cfg.report_every and produced % cfg.report_every == 0:
+                    elapsed = time.perf_counter() - started
+                    print(
+                        f"serve: height={chain.height()} produced={produced} "
+                        f"({produced / max(elapsed, 1e-9):.1f} blocks/s)",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+            store.seal()
+            sealed_ok = True
+        finally:
+            validator.pipeline.close()
+            store.close()
+            if handle_signals:
+                self.restore_signal_handlers()
+
+        head = chain.head
+        return ServeReport(
+            height=head.number,
+            head_hash=bytes(head.hash).hex(),
+            state_root=bytes(head.header.state_root).hex(),
+            produced=produced,
+            resumed_from=resumed_from,
+            sealed=sealed_ok,
+            stop_signal=self._stop_signal,
+            healed=list(recovery.healed),
+        )

@@ -49,3 +49,29 @@ def small_generator(small_universe):
 @pytest.fixture()
 def genesis_chain(small_universe):
     return Blockchain(small_universe.genesis)
+
+
+@pytest.fixture()
+def build_chain(small_universe, small_generator):
+    """Factory: seal ``count`` blocks from genesis, serially verified.
+
+    Returns ``[(block, post_state), ...]`` in height order — the raw
+    material the storage tests append, recover and compare."""
+    from repro.core.baselines import SerialExecutor
+    from repro.network.node import ProposerNode
+
+    def build(count):
+        serial = SerialExecutor()
+        proposer = ProposerNode("store-test-proposer")
+        parent_header = Blockchain(small_universe.genesis).genesis.header
+        parent_state = small_universe.genesis
+        out = []
+        for _ in range(count):
+            txs = small_generator.generate_block_txs()
+            sealed = proposer.build_block(parent_header, parent_state, txs)
+            sres = serial.execute_block(sealed.block, parent_state)
+            out.append((sealed.block, sres.post_state))
+            parent_header, parent_state = sealed.block.header, sres.post_state
+        return out
+
+    return build

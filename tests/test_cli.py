@@ -29,6 +29,20 @@ class TestParser:
         assert args.rounds == 2
         assert args.out == "trace.json"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--data-dir", "/tmp/x"])
+        assert args.data_dir == "/tmp/x"
+        assert args.blocks == 0  # run until signalled
+        assert args.block_interval == 12
+        assert args.snapshot_interval == 64
+        assert args.no_compact is False
+        assert args.no_fsync is False
+        assert args.report_every == 0
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCommands:
     """Run each command on a tiny workload; assert exit code and output."""
@@ -86,3 +100,20 @@ class TestCommands:
         ]
         assert main(argv) == 0
         assert out_path.exists()
+
+    def test_serve_bounded_run(self, capsys, tmp_path):
+        data_dir = tmp_path / "node"
+        argv = [
+            *self.ARGS, "serve", "--data-dir", str(data_dir),
+            "--blocks", "2", "--snapshot-interval", "0", "--no-fsync",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "height=2" in out
+        assert "sealed=True" in out
+        assert (data_dir / "manifest.json").exists()
+        # a second invocation resumes, produces nothing, same head
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "produced=0" in out
+        assert "recovery:" in out

@@ -115,3 +115,64 @@ class TestStrictDecoding:
     def test_empty_input_rejected(self):
         with pytest.raises(RLPDecodeError):
             rlp_decode(b"")
+
+
+class TestHeaderRoundTripProperty:
+    """Seeded random block headers survive the storage codec byte-for-byte.
+
+    Pins the two conventions the block log relies on: zero-length byte
+    fields (``extra=b""``, empty ``proposer_id``) ride as the canonical
+    empty string, and integers (including 0) decode back exactly.
+    """
+
+    @staticmethod
+    def _random_header(rng):
+        from repro.chain.block import BlockHeader
+        from repro.common.types import Address, Hash32
+
+        return BlockHeader(
+            parent_hash=Hash32(rng.randbytes(32)),
+            number=rng.choice([0, 1, rng.randrange(1 << 32)]),
+            state_root=Hash32(rng.randbytes(32)),
+            transactions_root=Hash32(rng.randbytes(32)),
+            receipts_root=Hash32(rng.randbytes(32)),
+            gas_used=rng.choice([0, rng.randrange(1 << 40)]),
+            gas_limit=rng.randrange(1, 1 << 40),
+            coinbase=Address(rng.randbytes(20)),
+            timestamp=rng.choice([0, rng.randrange(1 << 40)]),
+            proposer_id=rng.choice(["", "n", "node-%d" % rng.randrange(100)]),
+            extra=rng.choice([b"", rng.randbytes(rng.randrange(1, 33))]),
+            logs_bloom=rng.choice([bytes(256), rng.randbytes(256)]),
+        )
+
+    @given(st.integers(min_value=0, max_value=1 << 32))
+    def test_random_headers_round_trip(self, seed):
+        import random
+
+        from repro.store.codec import decode_header, encode_header
+
+        header = self._random_header(random.Random(seed))
+        decoded = decode_header(encode_header(header))
+        assert decoded == header
+        assert decoded.hash == header.hash
+        # re-encoding is byte-identical (canonical form is a fixpoint)
+        assert encode_header(decoded) == encode_header(header)
+
+    def test_zero_length_extra_encodes_to_empty_string(self):
+        from repro.chain.block import BlockHeader
+        from repro.store.codec import decode_header, encode_header
+
+        import random
+
+        header = self._random_header(random.Random(7))
+        bare = BlockHeader(
+            **{
+                **{f: getattr(header, f) for f in header.__dataclass_fields__},
+                "extra": b"",
+                "proposer_id": "",
+            }
+        )
+        decoded = decode_header(encode_header(bare))
+        assert decoded.extra == b""
+        assert decoded.proposer_id == ""
+        assert decoded == bare

@@ -1,0 +1,125 @@
+"""Block log framing: append/scan round trips, torn tails, corruption."""
+
+import os
+
+import pytest
+
+from repro.store.blocklog import LOG_MAGIC, RECORD_HEADER, BlockLog
+from repro.store.errors import BlockLogCorruptError, TornTailError
+
+pytestmark = pytest.mark.store
+
+
+@pytest.fixture()
+def blocks(build_chain):
+    return [b for b, _ in build_chain(3)]
+
+
+class TestAppendScan:
+    def test_round_trip_preserves_hashes(self, tmp_path, blocks):
+        with BlockLog(str(tmp_path / "blocks.log"), fsync=False) as log:
+            offsets = [log.append(b) for b in blocks]
+            scanned = list(log.scan())
+        assert [off for off, _ in scanned] == offsets
+        assert [b.hash for _, b in scanned] == [b.hash for b in blocks]
+        # transactions and receipts survive byte-identically too
+        for original, (_, decoded) in zip(blocks, scanned):
+            assert [t.hash for t in decoded.transactions] == [
+                t.hash for t in original.transactions
+            ]
+            assert [r.encode() for r in decoded.receipts] == [
+                r.encode() for r in original.receipts
+            ]
+
+    def test_fresh_log_is_magic_only(self, tmp_path):
+        with BlockLog(str(tmp_path / "blocks.log"), fsync=False) as log:
+            assert log.size == len(LOG_MAGIC)
+            assert log.read_all() == []
+
+    def test_reopen_appends_after_existing_records(self, tmp_path, blocks):
+        path = str(tmp_path / "blocks.log")
+        with BlockLog(path, fsync=False) as log:
+            log.append(blocks[0])
+        with BlockLog(path, fsync=False) as log:
+            log.append(blocks[1])
+            assert [b.hash for b in log.read_all()] == [
+                blocks[0].hash,
+                blocks[1].hash,
+            ]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "blocks.log"
+        path.write_bytes(b"NOTALOG!" + b"\x00" * 32)
+        with pytest.raises(BlockLogCorruptError):
+            BlockLog(str(path), fsync=False)
+
+
+class TestTornTail:
+    def test_torn_record_raises_with_truncation_offset(self, tmp_path, blocks):
+        with BlockLog(str(tmp_path / "blocks.log"), fsync=False) as log:
+            log.append(blocks[0])
+            torn_at = log.size
+            log.append(blocks[1], tear_after=RECORD_HEADER.size + 5)
+            with pytest.raises(TornTailError) as excinfo:
+                list(log.scan())
+            assert excinfo.value.offset == torn_at
+
+    def test_truncation_heals_torn_tail(self, tmp_path, blocks):
+        with BlockLog(str(tmp_path / "blocks.log"), fsync=False) as log:
+            log.append(blocks[0])
+            torn_at = log.size
+            log.append(blocks[1], tear_after=3)  # even the header is torn
+            log.truncate_to(torn_at)
+            assert [b.hash for b in log.read_all()] == [blocks[0].hash]
+            # the healed log accepts fresh appends
+            log.append(blocks[1])
+            assert len(log.read_all()) == 2
+
+    def test_cannot_truncate_into_magic(self, tmp_path, blocks):
+        with BlockLog(str(tmp_path / "blocks.log"), fsync=False) as log:
+            log.append(blocks[0])
+            with pytest.raises(ValueError):
+                log.truncate_to(3)
+
+
+class TestInteriorCorruption:
+    def _flip_payload_byte(self, path, record_offset):
+        """Flip a byte safely inside a record's payload (past its header)."""
+        with open(path, "r+b") as fh:
+            fh.seek(record_offset + RECORD_HEADER.size + 10)
+            byte = fh.read(1)[0]
+            fh.seek(record_offset + RECORD_HEADER.size + 10)
+            fh.write(bytes([byte ^ 0xFF]))
+
+    def test_non_final_damage_is_corruption_not_torn(self, tmp_path, blocks):
+        path = str(tmp_path / "blocks.log")
+        with BlockLog(path, fsync=False) as log:
+            first = log.append(blocks[0])
+            log.append(blocks[1])
+        self._flip_payload_byte(path, first)
+        with BlockLog(path, fsync=False) as log:
+            with pytest.raises(BlockLogCorruptError) as excinfo:
+                list(log.scan())
+        assert excinfo.value.offset == first
+
+    def test_final_record_damage_is_torn(self, tmp_path, blocks):
+        path = str(tmp_path / "blocks.log")
+        with BlockLog(path, fsync=False) as log:
+            log.append(blocks[0])
+            last = log.append(blocks[1])
+        self._flip_payload_byte(path, last)
+        with BlockLog(path, fsync=False) as log:
+            with pytest.raises(TornTailError) as excinfo:
+                list(log.scan())
+        assert excinfo.value.offset == last
+
+
+class TestRewrite:
+    def test_rewrite_keeps_only_given_blocks(self, tmp_path, blocks):
+        path = str(tmp_path / "blocks.log")
+        with BlockLog(path, fsync=False) as log:
+            for b in blocks:
+                log.append(b)
+            log.rewrite(blocks[2:])
+            assert [b.hash for b in log.read_all()] == [blocks[2].hash]
+        assert not os.path.exists(path + ".tmp")

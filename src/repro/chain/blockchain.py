@@ -257,10 +257,14 @@ class Blockchain:
         self._arrival[block.hash] = self._arrival_counter
         self._arrival_counter += 1
 
-        # fork choice: longest chain, earliest arrival breaks ties
+        # fork choice: longest chain, earliest arrival breaks ties.
+        # Persist before publishing: if the store raises (disk full, I/O
+        # error) the head is unchanged, so disk never trails the
+        # advertised canonical chain — the block stays resident as a
+        # non-canonical sibling until the caller retries or aborts.
         became_head = block.number > self.head.number
-        if became_head:
-            self._head = block.hash
         if self._store is not None:
             self._store.on_block(block, post_state, head=became_head)
+        if became_head:
+            self._head = block.hash
         return became_head

@@ -55,6 +55,7 @@ CRASH_EVENTS = (
     "after_append",  # record durable, manifest not yet advanced
     "after_snapshot",  # snapshot file durable, manifest not yet advanced
     "after_manifest",  # the full commit point for this block
+    "in_compaction",  # new generation durable, manifest not yet repointed
     "before_seal",  # graceful-shutdown seal about to run
 )
 

@@ -34,7 +34,8 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol
 from repro.chain.block import Block
 from repro.state.statedb import StateSnapshot
 from repro.store.blocklog import RECORD_HEADER, BlockLog
-from repro.store.codec import encode_block, encode_header
+from repro.store.codec import encode_block, encode_header, verify_roundtrip
+from repro.store.errors import StoreError
 from repro.store.manifest import Manifest, SnapshotRef
 from repro.store.snapshots import write_snapshot
 
@@ -96,6 +97,7 @@ class DiskStore:
         snapshot_interval: int = 64,
         compact: bool = True,
         fsync: bool = True,
+        verify_writes: bool = True,
         metrics: Optional["MetricsRegistry"] = None,
         crash: Optional["CrashPlan"] = None,
     ) -> None:
@@ -103,6 +105,7 @@ class DiskStore:
         self.snapshot_interval = snapshot_interval
         self.compact = compact
         self.fsync = fsync
+        self.verify_writes = verify_writes
         self.metrics = metrics
         self.crash = crash
         self.manifest = Manifest()
@@ -170,6 +173,15 @@ class DiskStore:
         height = block.number
         crash = self.crash
 
+        # 0. codec self-check: a block that cannot be re-read from its own
+        #    encoding must fail here, at append time, not at recovery time
+        if self.verify_writes:
+            problem = verify_roundtrip(block)
+            if problem is not None:
+                raise StoreError(
+                    f"block {height} fails codec round-trip: {problem}"
+                )
+
         # 1. block record → log (durable before anything references it)
         if crash is not None and crash.is_armed("torn_append", height):
             record_len = len(encode_block(block)) + RECORD_HEADER.size
@@ -234,20 +246,25 @@ class DiskStore:
     def _compact(self, horizon: int) -> None:
         """Keep only records above ``horizon`` in a new-generation log file.
 
-        Crash-safe: the new file is fully written and fsynced, then the
-        manifest is atomically repointed at it, and only then is the old
-        generation deleted.  Any crash in between leaves a manifest that
-        references exactly one intact log.
+        Crash-safe: the new generation is built in a temp file and
+        published with an atomic rename — a crashed earlier attempt at
+        the same horizon may have left a partial (possibly torn) file at
+        exactly this path, and appending to it would corrupt the
+        generation.  Only once the new file is fully durable is the
+        manifest repointed at it, and only then is the old generation
+        deleted.  Any crash in between leaves a manifest that references
+        exactly one intact log.
         """
         assert self.log is not None
         old_path = self.log.path
         survivors = [b for _, b in self.log.scan() if b.number > horizon]
         new_name = f"blocks_{horizon:08d}.log"
         new_path = os.path.join(self.data_dir, new_name)
-        new_log = BlockLog(new_path, fsync=self.fsync)
-        dropped = 0
-        for block in survivors:
-            new_log.append(block)
+        new_log = BlockLog.write_new(new_path, survivors, fsync=self.fsync)
+        if self.crash is not None:
+            # new generation durable, manifest still naming the old one —
+            # a retry after this crash must clobber, not extend, new_path
+            self.crash.fire("in_compaction", self.manifest.height)
         dropped = self.manifest.height - horizon  # informational only
         self.manifest.log_start_height = horizon + 1
         self.manifest.log_bytes = new_log.size

@@ -71,6 +71,33 @@ class BlockLog:
             self._check_magic()
         self._fh.seek(0, os.SEEK_END)
 
+    @classmethod
+    def write_new(
+        cls, path: str, blocks: List[Block], *, fsync: bool = True
+    ) -> "BlockLog":
+        """Create a log at ``path`` holding exactly ``blocks``, atomically.
+
+        The records are fully written (and fsynced) to a temp file which
+        is then renamed over ``path`` — any remnant there from a crashed
+        earlier attempt (e.g. a torn, half-written compaction generation)
+        is discarded rather than appended to.  Returns the opened log.
+        """
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(LOG_MAGIC)
+            for block in blocks:
+                payload = encode_block(block)
+                fh.write(
+                    RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+                )
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        if fsync:
+            _fsync_dir(os.path.dirname(path) or ".")
+        return cls(path, fsync=fsync)
+
     def _check_magic(self) -> None:
         assert self._fh is not None
         self._fh.seek(0)

@@ -269,13 +269,15 @@ def chain_digest(blocks: Sequence[Block], *, skip: int = 0) -> str:
 
 
 def verify_roundtrip(block: Block) -> Optional[str]:
-    """Self-check used by the log writer: does the block survive the codec?
+    """Append-time self-check: does the block survive the codec?
 
-    Returns ``None`` when encode→decode reproduces the header hash, every
-    transaction hash and the receipt encodings; otherwise a human-readable
-    description of the first divergence.  Cheap insurance that a block
-    with an unserialisable quirk fails loudly at *append* time, not at
-    recovery time.
+    :meth:`DiskStore.on_block` runs this before every append (disable
+    with ``DiskStore(verify_writes=False)``) and refuses to persist a
+    block that fails it.  Returns ``None`` when encode→decode reproduces
+    the header hash, every transaction hash and the receipt encodings;
+    otherwise a human-readable description of the first divergence.
+    Cheap insurance that a block with an unserialisable quirk fails
+    loudly at *append* time, not at recovery time.
     """
     decoded = decode_block(encode_block(block))
     if decoded.header.hash != block.header.hash:

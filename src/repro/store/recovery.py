@@ -8,8 +8,10 @@ The recovery state machine (see docs/ARCHITECTURE.md §13)::
                                         no ───→ StaleManifestError
     snapshot digest + rebuilt root ok?  no ───→ SnapshotCorruptError
     for each log record above the snapshot horizon:
-        crc ok?        torn tail → truncate & continue (healed)
-                       interior  → BlockLogCorruptError
+        crc ok?        torn at/above manifest.logBytes → heal: truncate,
+                           but only after the cross-checks below pass
+                       below manifest.logBytes → BlockLogCorruptError
+                           (file left untouched — evidence preserved)
         parent known?  no → skip (fork loser below horizon; recorded)
         re-execute; state root == header root?
                                         no ───→ ReplayDivergenceError
@@ -36,6 +38,7 @@ from repro.state.statedb import StateSnapshot
 from repro.store.blocklog import BlockLog
 from repro.store.codec import decode_header
 from repro.store.errors import (
+    BlockLogCorruptError,
     ReplayDivergenceError,
     StaleManifestError,
     StoreError,
@@ -189,15 +192,22 @@ def recover(
     replayed = 0
     healed: List[str] = []
     skipped: List[str] = []
-    torn_offset: Optional[int] = None
+    torn: Optional[TornTailError] = None
     try:
         for offset, block in log.scan():
             replayed += _replay_one(chain, serial, block, base_height, skipped)
     except TornTailError as exc:
-        torn_offset = exc.offset
-        healed.append(str(exc))
-    if torn_offset is not None:
-        log.truncate_to(torn_offset)
+        if exc.offset < manifest.log_bytes:
+            # damage strictly below the manifest's durable horizon cannot
+            # be a crash tail (those bytes were fsynced before the
+            # manifest advanced) — surface it with the file untouched so
+            # the evidence survives for manual forensics
+            raise BlockLogCorruptError(
+                "corruption below the manifest's durable horizon "
+                f"({manifest.log_bytes} bytes): {exc}",
+                offset=exc.offset,
+            ) from exc
+        torn = exc
 
     if chain.height() < manifest.height:
         raise StaleManifestError(
@@ -214,6 +224,13 @@ def recover(
                 f"replayed chain disagrees with the manifest's recorded "
                 f"head at height {manifest.height}"
             )
+
+    # heal (truncate) the torn crash tail only now, after every manifest
+    # cross-check has passed — a failed check must leave the log
+    # byte-for-byte as it was found
+    if torn is not None:
+        log.truncate_to(torn.offset)
+        healed.append(str(torn))
 
     result = RecoveryResult(
         chain=chain,

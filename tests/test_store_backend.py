@@ -6,7 +6,14 @@ import pytest
 
 from repro.chain.blockchain import Blockchain
 from repro.obs.metrics import MetricsRegistry
-from repro.store import DiskStore, Manifest, MemoryStore, encode_header
+from repro.store import (
+    DiskStore,
+    Manifest,
+    MemoryStore,
+    StoreError,
+    encode_header,
+    recover,
+)
 from repro.store.blocklog import LOG_MAGIC
 
 pytestmark = pytest.mark.store
@@ -130,6 +137,30 @@ class TestCompaction:
         ]
         store.close()
 
+    def test_retry_clobbers_stale_partial_generation(
+        self, tmp_path, small_universe, build_chain
+    ):
+        """A crash between writing a new generation and repointing the
+        manifest leaves a stale — possibly torn — ``blocks_<horizon>.log``;
+        the retry at the same horizon must replace it atomically, never
+        append survivors after the remnant bytes."""
+        chain, store = _open_disk_chain(
+            tmp_path / "node", small_universe.genesis, snapshot_interval=2
+        )
+        pairs = build_chain(3)
+        chain.add_block(*pairs[0])
+        # forge the remnant at the exact path compaction will use when
+        # block 2's snapshot lands (horizon 2): magic + a torn record
+        remnant = tmp_path / "node" / "blocks_00000002.log"
+        remnant.write_bytes(LOG_MAGIC + b"\x99\x00\x00\x00\xde\xad")
+        for pair in pairs[1:]:
+            chain.add_block(*pair)
+        assert [b.number for b in store.log.read_all()] == [3]
+        store.close()
+        result = recover(str(tmp_path / "node"), small_universe.genesis)
+        assert result.chain.height() == 3
+        assert result.chain.head.hash == pairs[2][0].hash
+
     def test_compaction_disabled_keeps_full_log(
         self, tmp_path, small_universe, build_chain
     ):
@@ -143,6 +174,49 @@ class TestCompaction:
             chain.add_block(block, post_state)
         assert [b.number for b in store.log.read_all()] == [1, 2, 3, 4]
         assert Manifest.load(str(tmp_path / "node")).log_file == "blocks.log"
+        store.close()
+
+
+class TestVerifyWrites:
+    def test_unserialisable_block_refused_before_append(
+        self, tmp_path, small_universe, build_chain, monkeypatch
+    ):
+        """The codec self-check runs before the record hits the log, and
+        a store failure propagates with the head unpublished."""
+        import repro.store.backend as backend_mod
+
+        chain, store = _open_disk_chain(
+            tmp_path / "node", small_universe.genesis, snapshot_interval=0
+        )
+        monkeypatch.setattr(
+            backend_mod, "verify_roundtrip", lambda block: "forced divergence"
+        )
+        block, post_state = build_chain(1)[0]
+        with pytest.raises(StoreError, match="codec round-trip"):
+            chain.add_block(block, post_state)
+        assert store.log.read_all() == []
+        # the block is resident as a sibling, but never became canonical
+        assert block.hash in chain
+        assert chain.head.number == 0
+        store.close()
+
+    def test_verify_writes_can_be_disabled(
+        self, tmp_path, small_universe, build_chain, monkeypatch
+    ):
+        import repro.store.backend as backend_mod
+
+        chain, store = _open_disk_chain(
+            tmp_path / "node",
+            small_universe.genesis,
+            snapshot_interval=0,
+            verify_writes=False,
+        )
+        monkeypatch.setattr(
+            backend_mod, "verify_roundtrip", lambda block: "forced divergence"
+        )
+        block, post_state = build_chain(1)[0]
+        assert chain.add_block(block, post_state) is True
+        assert [b.number for b in store.log.read_all()] == [1]
         store.close()
 
 

@@ -48,6 +48,26 @@ class TestTamperDetection:
         with pytest.raises((BlockLogCorruptError, StaleManifestError)):
             recover(populated_dir, small_universe.genesis)
 
+    def test_interior_length_corruption_preserved_not_truncated(
+        self, populated_dir, small_universe
+    ):
+        """A corrupted length field below the durable horizon must raise
+        BlockLogCorruptError with the log left byte-for-byte intact —
+        truncating there would destroy every later (valid) record."""
+        import os
+        import struct
+
+        path = os.path.join(populated_dir, "blocks.log")
+        with open(path, "r+b") as fh:
+            fh.seek(8)  # first record's length field, deep in the durable region
+            fh.write(struct.pack("<I", 0xFFFFFFF0))
+        with open(path, "rb") as fh:
+            before = fh.read()
+        with pytest.raises(BlockLogCorruptError):
+            recover(populated_dir, small_universe.genesis)
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+
     def test_torn_tail_of_sealed_bytes_detected(
         self, populated_dir, small_universe
     ):
@@ -176,5 +196,6 @@ class TestCrashPlan:
             "after_append",
             "after_snapshot",
             "after_manifest",
+            "in_compaction",
             "before_seal",
         )

@@ -105,6 +105,7 @@ class TestKillAndResume:
             "torn_append:5",
             "after_snapshot:4",
             "after_manifest:6",
+            "in_compaction:4",  # stale new-generation file left for the retry
             "after_append:2,torn_append:6",  # two kills, two resumes
         ],
     )

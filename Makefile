@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all test-fast test-faults test-store serve-demo check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults test-store serve-demo telemetry-smoke check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -32,6 +32,11 @@ serve-demo:
 		--blocks 20 --snapshot-interval 8 --report-every 5
 	$(PYTHON) -m repro --txs-per-block 40 serve --data-dir serve-demo-data \
 		--blocks 20 --snapshot-interval 8
+
+# live-telemetry smoke: serve with events + status endpoint, scrape it
+# over loopback (metrics/status/healthz), SIGTERM, verify a clean seal
+telemetry-smoke:
+	$(PYTHON) scripts/telemetry_smoke.py
 
 # conformance suite (repro.check): serializability + differential oracles
 # over freshly proposed blocks — exits non-zero on any violation
@@ -81,10 +86,11 @@ bench-compare:
 		$(PYTHON) -m pytest benchmarks/bench_fig6_proposer.py \
 		benchmarks/bench_fig7a_scalability.py \
 		benchmarks/bench_fig9_multiblock.py \
+		benchmarks/bench_obs_overhead.py \
 		benchmarks/bench_hotpath.py -q
 	$(PYTHON) -m repro.obs.baseline \
 		--old-dir benchmarks/results --new-dir benchmarks/results/.fresh \
-		--names fig6_proposer fig7a_scalability fig9_multiblock hotpath
+		--names fig6_proposer fig7a_scalability fig9_multiblock hotpath obs_live
 
 trace-demo:
 	$(PYTHON) -m repro --txs-per-block 60 trace --scenario round --rounds 2 \

@@ -18,11 +18,12 @@ Three claims behind the ``repro.obs`` layer:
 import statistics
 import time
 
-from benchmarks.conftest import emit, emit_json
+from benchmarks.conftest import CHAIN_LENGTH, emit, emit_json
 from repro.analysis.report import format_table
 from repro.core.validator import ParallelValidator, ValidatorConfig
 from repro.obs import (
     MetricsRegistry,
+    NULL_EMITTER,
     NULL_TRACER,
     Tracer,
     chrome_trace_json,
@@ -56,15 +57,19 @@ def test_null_tracer_overhead(bench_chain, capsys):
     untraced = ParallelValidator(config=ValidatorConfig(lanes=16))
 
     # Measure the primitive the production path actually pays: one
-    # ``tracer.enabled`` / ``metrics is not None`` guard evaluation.
+    # ``tracer.enabled`` / ``metrics is not None`` guard evaluation, plus
+    # the ``emitter.enabled`` guard the live-telemetry seams add.
     tracer = NULL_TRACER
     metrics = None
+    emitter = NULL_EMITTER
     start = time.perf_counter()
     for _ in range(GUARD_ITERATIONS):
         if tracer.enabled:
             raise AssertionError("NullTracer must be disabled")
         if metrics is not None:
             raise AssertionError
+        if emitter.enabled:
+            raise AssertionError("NullEmitter must be disabled")
     guard_wall = time.perf_counter() - start
     start = time.perf_counter()
     for _ in range(GUARD_ITERATIONS):
@@ -154,6 +159,99 @@ def test_traced_run_exports_replayable_chrome_json(bench_chain):
         for key in ("ph", "ts", "pid", "tid", "name"):
             assert key in event, f"trace event missing {key}: {event}"
     assert any(e["ph"] == "X" for e in events)
+
+
+def test_events_on_lane_and_baseline(tmp_path, capsys):
+    """Events-on serve lane: wall-cost table + sim-deterministic baseline.
+
+    The committed ``BENCH_obs_live.json`` golden pins the *simulated*
+    shape of a fixed-seed serve run with telemetry on — event counts,
+    sequence numbers, narrated aborts, file bytes — so ``make
+    bench-compare`` catches any drift in the event schema or the abort
+    schedule.  Wall-clock medians ride along under informational key
+    names (never gated; machines differ).
+    """
+    from repro.obs.events import read_events
+    from repro.store.service import NodeService, ServeConfig
+
+    def serve(events: bool, tag: str):
+        data_dir = tmp_path / tag
+        config = ServeConfig(
+            data_dir=str(data_dir),
+            txs_per_block=12,
+            max_height=CHAIN_LENGTH,
+            snapshot_interval=4,
+            fsync=False,
+            events=events,
+        )
+        start = time.perf_counter()
+        report = NodeService(config).run(handle_signals=False)
+        return time.perf_counter() - start, data_dir, report
+
+    off_walls, on_walls = [], []
+    event_files = []
+    for repeat in range(REPEATS):
+        wall, _, off_report = serve(False, f"off{repeat}")
+        off_walls.append(wall)
+        assert off_report.events_written == 0
+        wall, data_dir, on_report = serve(True, f"on{repeat}")
+        on_walls.append(wall)
+        event_files.append(data_dir / "events.jsonl")
+    off_median = statistics.median(off_walls)
+    on_median = statistics.median(on_walls)
+
+    # same seed, same bytes: the event stream is part of the repro surface
+    reference = event_files[0].read_bytes()
+    for path in event_files[1:]:
+        assert path.read_bytes() == reference, "event streams diverged"
+
+    events = read_events(str(event_files[0]))
+    kinds = [event["kind"] for event in events]
+    sealed = [event for event in events if event["kind"] == "block_sealed"]
+    assert len(sealed) == CHAIN_LENGTH
+    assert on_report.events_written == len(events)
+    assert [event["seq"] for event in events] == list(range(len(events)))
+
+    emit(
+        capsys,
+        "obs_live",
+        format_table(
+            [
+                {
+                    "config": "serve, events off",
+                    "median_s": round(off_median, 4),
+                    "events": 0,
+                },
+                {
+                    "config": "serve, events on",
+                    "median_s": round(on_median, 4),
+                    "events": len(events),
+                },
+            ],
+            title=f"Live telemetry lane ({CHAIN_LENGTH} blocks, sim backend)",
+        ),
+    )
+    emit_json(
+        "obs_live",
+        {
+            # deterministic under a fixed seed — gated by bench-compare
+            "events_total": len(events),
+            "sealed_events": len(sealed),
+            "append_events": kinds.count("store_append"),
+            "narrated_aborts": sum(e["aborts"] for e in sealed),
+            "final_seq": events[-1]["seq"],
+            "event_bytes": len(reference),
+            # wall clock — informational only, machines differ
+            "events_off_median_s": round(off_median, 4),
+            "events_on_median_s": round(on_median, 4),
+        },
+        config={
+            "blocks": CHAIN_LENGTH,
+            "txs_per_block": 12,
+            "seed": 42,
+            "backend": "sim",
+        },
+    )
 
 
 def test_baseline_roundtrip_zero_regressions(bench_chain, tmp_path):

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""End-to-end smoke for live serve telemetry (``make telemetry-smoke``).
+
+Launches a real ``repro serve`` subprocess with the event log and status
+endpoint on, scrapes ``/healthz``, ``/metrics`` and ``/status`` over
+loopback while blocks are being sealed, renders one ``repro status``
+dashboard frame against the same endpoint, then SIGTERMs the node and
+verifies it sealed cleanly and left a parseable event log behind.
+
+Exits non-zero on the first failed expectation.  This is the CI smoke
+lane; the full behavioural matrix lives in tests/test_serve_telemetry.py.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+URL_RE = re.compile(r"status endpoint listening on (http://[\d.]+:\d+)")
+
+
+def fail(message: str) -> None:
+    print(f"telemetry-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        if resp.status != 200:
+            fail(f"GET {url} -> {resp.status}")
+        return resp.read().decode()
+
+
+def main() -> None:
+    data_dir = Path(tempfile.mkdtemp(prefix="telemetry-smoke-")) / "node"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "--txs-per-block",
+            "24",
+            "serve",
+            "--data-dir",
+            str(data_dir),
+            "--snapshot-interval",
+            "8",
+            "--no-fsync",
+            "--events",
+            "--status-port",
+            "0",
+        ],
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    url = None
+    deadline = time.monotonic() + 60
+    assert proc.stderr is not None
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        match = URL_RE.search(line or "")
+        if match:
+            url = match.group(1)
+            break
+        if proc.poll() is not None:
+            break
+    if url is None:
+        proc.kill()
+        out, err = proc.communicate(timeout=30)
+        fail(f"no status URL announced\n{out}\n{err}")
+
+    print(f"telemetry-smoke: node up at {url}")
+    if get(f"{url}/healthz") != "ok\n":
+        fail("healthz did not answer ok")
+    metrics = get(f"{url}/metrics")
+    for needle in ("repro_up 1", "repro_serve_blocks_total_total"):
+        if needle not in metrics:
+            fail(f"/metrics missing {needle!r}")
+    status = json.loads(get(f"{url}/status"))
+    if status["schema"] != 1 or not status["health"]["ready"]:
+        fail(f"unexpected /status document: {status}")
+    print(
+        "telemetry-smoke: scraped height="
+        f"{status['height']} events_seq={status['events']['seq']}"
+    )
+
+    dash = subprocess.run(
+        [sys.executable, "-m", "repro", "status", "--url", url],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if dash.returncode != 0 or "health healthy" not in dash.stdout:
+        fail(f"status dashboard failed:\n{dash.stdout}\n{dash.stderr}")
+
+    proc.send_signal(signal.SIGTERM)
+    stdout, stderr = proc.communicate(timeout=120)
+    if proc.returncode != 0:
+        fail(f"serve exited {proc.returncode}:\n{stdout}\n{stderr}")
+    if "sealed=True" not in stdout:
+        fail(f"serve did not seal cleanly:\n{stdout}")
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.events import read_events
+
+    events = read_events(str(data_dir / "events.jsonl"), strict=True)
+    kinds = {event["kind"] for event in events}
+    for expected in ("serve_start", "block_sealed", "serve_stop"):
+        if expected not in kinds:
+            fail(f"event log missing kind {expected!r}")
+    print(f"telemetry-smoke: PASS ({len(events)} events, clean seal)")
+
+
+if __name__ == "__main__":
+    main()

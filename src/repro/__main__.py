@@ -352,6 +352,11 @@ def cmd_serve(args) -> int:
         compact=not args.no_compact,
         fsync=not args.no_fsync,
         report_every=args.report_every,
+        events=args.events,
+        status_port=args.status_port,
+        wall_clock_slo=args.wall_clock_slo,
+        stall_interval_s=args.stall_interval,
+        stall_factor=args.stall_factor,
     )
     service = NodeService(
         cfg,
@@ -364,6 +369,77 @@ def cmd_serve(args) -> int:
         print(service.recovery_summary)
     print(report.summary())
     return report.exit_code
+
+
+def _render_status(doc: dict) -> str:
+    """One compact dashboard frame from a /status JSON document."""
+    health = doc.get("health", {})
+    slo = doc.get("slo", {})
+    totals = slo.get("totals", {})
+    windows = slo.get("windows") or []
+    current = windows[-1] if windows else {}
+    events = doc.get("events", {})
+    state = "healthy" if health.get("healthy", False) else "UNHEALTHY"
+    if not health.get("ready", False):
+        state = "recovering"
+    lines = [
+        f"node   height={doc.get('height', '?')} head={str(doc.get('head', ''))[:12]} "
+        f"produced={doc.get('produced', '?')} "
+        f"resumed_from={doc.get('resumed_from', '?')}",
+        f"health {state} silent={health.get('silent_s', 0.0):.1f}s "
+        f"threshold={health.get('threshold_s', 0.0):.1f}s "
+        f"unhealthy_intervals={health.get('unhealthy_intervals', 0)}",
+        f"totals blocks={totals.get('blocks', 0)} txs={totals.get('txs', 0)} "
+        f"aborts={totals.get('aborts', 0)} retries={totals.get('retries', 0)} "
+        f"fallbacks={totals.get('fallbacks', 0)}",
+        f"window seal_p50={current.get('seal_p50_us', 0.0):.0f}us "
+        f"p95={current.get('seal_p95_us', 0.0):.0f}us "
+        f"p99={current.get('seal_p99_us', 0.0):.0f}us "
+        f"abort_rate={current.get('abort_rate', 0.0):.3f}",
+        f"store  write_p95={current.get('store_p95_us', 0.0):.0f}us "
+        f"events_seq={events.get('seq', 0)} "
+        f"dropped={events.get('dropped', 0)} "
+        f"rotations={events.get('rotations', 0)}",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_status(args) -> int:
+    """Scrape a running node's /status endpoint and render a dashboard."""
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    if args.url:
+        base = args.url.rstrip("/")
+    elif args.port is not None:
+        base = f"http://127.0.0.1:{args.port}"
+    else:
+        print("status: need --url or --port", file=sys.stderr)
+        return 2
+
+    def fetch() -> dict:
+        with urllib.request.urlopen(f"{base}/status", timeout=5) as resp:
+            return json.load(resp)
+
+    try:
+        while True:
+            try:
+                doc = fetch()
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"status: {base} unreachable: {exc}", file=sys.stderr)
+                return 1
+            frame = _render_status(doc)
+            if args.watch:
+                # clear + home, like a one-page `top`
+                print(f"\x1b[2J\x1b[H{base}\n{frame}", flush=True)
+                time.sleep(args.interval)
+            else:
+                print(frame)
+                return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -484,6 +560,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="print a progress line every N blocks (0 = quiet)",
     )
+    p.add_argument(
+        "--events",
+        action="store_true",
+        help="write a structured JSONL event log next to the block log",
+    )
+    p.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        help="loopback HTTP status endpoint (/metrics /status /healthz); "
+        "0 picks an ephemeral port, printed to stderr",
+    )
+    p.add_argument(
+        "--wall-clock-slo",
+        action="store_true",
+        help="sample SLO windows on the wall clock instead of the "
+        "simulated one (diagnostics only; breaks event determinism)",
+    )
+    p.add_argument(
+        "--stall-interval",
+        type=float,
+        default=5.0,
+        help="expected seconds between sealed blocks (watchdog base)",
+    )
+    p.add_argument(
+        "--stall-factor",
+        type=float,
+        default=4.0,
+        help="/healthz flips unhealthy after factor×interval of silence",
+    )
+    p = sub.add_parser(
+        "status",
+        help="scrape a running serve node's /status endpoint and render it",
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        help="status endpoint base URL (default: http://127.0.0.1:<port>)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="shorthand for --url http://127.0.0.1:<port>",
+    )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh the dashboard every --interval seconds until ^C",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period for --watch (wall seconds)",
+    )
     return parser
 
 
@@ -497,6 +629,7 @@ COMMANDS = {
     "check": cmd_check,
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,
+    "status": cmd_status,
 }
 
 

@@ -133,7 +133,7 @@ class ArtifactCache:
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:
-            self.metrics.counter(f"artifacts.{name}").inc(amount)
+            self.metrics.counter("artifacts", name).inc(amount)
 
     def get(self, block: Block, granularity: str) -> Optional[BlockArtifacts]:
         """Artifacts for ``block``, computing on first request.

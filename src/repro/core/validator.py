@@ -237,7 +237,7 @@ class ParallelValidator:
             if metrics is not None:
                 metrics.counter("validator.blocks_rejected").inc()
                 if failure is not None:
-                    metrics.counter(f"validator.failure.{failure.reason.value}").inc()
+                    metrics.counter("validator.failure", failure.reason.value).inc()
             return ValidationResult(
                 accepted=False,
                 reason=reason,

@@ -254,6 +254,8 @@ class ValidatorNode:
             self.metrics.counter("node.blocks_rejected").inc(len(rejected))
             self.metrics.counter("node.blocks_quarantined").inc(len(quarantined))
             self.metrics.counter("node.restored_txs").inc(restored)
+            if new_head:
+                self.metrics.gauge("node.height").set(float(self.chain.height()))
         return ReceiveOutcome(
             pipeline=result,
             accepted=accepted,

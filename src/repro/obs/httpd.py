@@ -1,0 +1,243 @@
+"""Zero-dependency HTTP status endpoint for the long-running node.
+
+A stdlib :class:`http.server.ThreadingHTTPServer` bound to loopback
+serving four routes:
+
+* ``/metrics`` — Prometheus text exposition (format 0.0.4) rendered from
+  a :class:`~repro.obs.metrics.MetricsRegistry` snapshot plus the SLO
+  quantiles;
+* ``/status`` — the full JSON document (height, report, SLO windows);
+* ``/healthz`` — liveness: 200 while the pipeline seals blocks, 503 once
+  the stall watchdog trips;
+* ``/readyz`` — readiness: 503 until recovery has finished and the serve
+  loop is producing.
+
+The server thread only *reads* a snapshot the serve loop refreshes after
+every block, so a scrape never contends with execution; ``/healthz``
+additionally consults the wall-clock watchdog directly, which is what
+lets it flip to unhealthy while the loop itself is stuck.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Tuple
+
+__all__ = ["StatusProvider", "StatusServer", "render_prometheus"]
+
+#: Prefix every exposed metric so scrapes from several services can share
+#: one Prometheus without collisions.
+METRIC_PREFIX = "repro"
+
+
+def _sanitize(name: str) -> str:
+    """Dotted metric path -> a legal Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{METRIC_PREFIX}_{sanitized}"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float formatting: integers stay integral."""
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    metrics_snapshot: Mapping[str, Any],
+    *,
+    slo: Optional[Mapping[str, Any]] = None,
+    health: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    Counters become ``<name>_total``, gauges are exported as-is,
+    histograms become the conventional cumulative ``_bucket{le=...}``
+    series plus ``_sum``/``_count``.  The current SLO window's quantiles
+    land as ``repro_slo_*{quantile="..."}`` gauges and the health block
+    as ``repro_up`` / ``repro_healthy`` flags.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(metrics_snapshot.get("counters", {}).items()):
+        metric = _sanitize(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, gauge in sorted(metrics_snapshot.get("gauges", {}).items()):
+        metric = _sanitize(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge['value'])}")
+
+    for name, hist in sorted(metrics_snapshot.get("histograms", {}).items()):
+        metric = _sanitize(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        # bucket upper bounds are the interior edges; the final bucket
+        # (clamping semantics) is exported as +Inf like any histogram
+        for edge, count in zip(hist["edges"][1:-1], hist["counts"][:-1]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_fmt(hist['total'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+
+    if slo:
+        totals = slo.get("totals", {})
+        for key, value in sorted(totals.items()):
+            metric = _sanitize(f"slo.{key}") + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(value)}")
+        windows = slo.get("windows", [])
+        if windows:
+            current = windows[-1]
+            for stem, quantile in (
+                ("seal_p50_us", "0.5"),
+                ("seal_p95_us", "0.95"),
+                ("seal_p99_us", "0.99"),
+            ):
+                metric = _sanitize("slo.seal_latency_us")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {_fmt(current[stem])}'
+                )
+            metric = _sanitize("slo.abort_rate")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(current['abort_rate'])}")
+
+    up = 1
+    healthy = 1
+    ready = 1
+    if health is not None:
+        healthy = 1 if health.get("healthy", True) else 0
+        ready = 1 if health.get("ready", True) else 0
+    for metric, value in (
+        (f"{METRIC_PREFIX}_up", up),
+        (f"{METRIC_PREFIX}_healthy", healthy),
+        (f"{METRIC_PREFIX}_ready", ready),
+    ):
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+
+    return "\n".join(lines) + "\n"
+
+
+class StatusProvider(Protocol):
+    """What the HTTP handlers need from the telemetry layer."""
+
+    def metrics_text(self) -> str: ...
+
+    def status_json(self) -> Dict[str, Any]: ...
+
+    def health(self) -> Dict[str, Any]: ...
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the provider; silent (no per-request stderr spam)."""
+
+    provider: StatusProvider  # set by StatusServer on the handler class
+
+    # BaseHTTPRequestHandler logs every request to stderr by default
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return None
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._reply(
+                    200,
+                    self.provider.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/status":
+                self._reply(
+                    200,
+                    json.dumps(self.provider.status_json(), sort_keys=True),
+                    "application/json",
+                )
+            elif path == "/healthz":
+                health = self.provider.health()
+                if health.get("healthy", False):
+                    self._reply(200, "ok\n", "text/plain")
+                else:
+                    detail = health.get("detail", "unhealthy")
+                    self._reply(503, f"unhealthy: {detail}\n", "text/plain")
+            elif path == "/readyz":
+                health = self.provider.health()
+                if health.get("ready", False):
+                    self._reply(200, "ready\n", "text/plain")
+                else:
+                    self._reply(503, "not ready\n", "text/plain")
+            else:
+                self._reply(404, "not found\n", "text/plain")
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+
+
+class StatusServer:
+    """Owns the listener thread; binds loopback-only by design."""
+
+    def __init__(
+        self,
+        provider: StatusProvider,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.provider = provider
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve in a daemon thread; returns (host, bound port)."""
+        handler = type("_BoundHandler", (_Handler,), {"provider": self.provider})
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-status-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "StatusServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

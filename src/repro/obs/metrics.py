@@ -14,9 +14,28 @@ Naming convention (see docs/ARCHITECTURE.md): dotted lowercase paths,
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "flat_name"]
+
+
+def flat_name(
+    name: str, *parts: Union[str, int], **labels: Union[str, int]
+) -> str:
+    """Build a flat dotted metric key from a stem plus suffixes.
+
+    Positional parts are appended verbatim (``flat_name("validator.failure",
+    reason.value)`` keeps the historical ``validator.failure.<reason>``
+    keys); keyword labels are appended as sorted ``key.value`` pairs, so
+    ``flat_name("store.append", gen=3)`` → ``store.append.gen.3``.  This is
+    the sanctioned replacement for ad-hoc f-string metric names: the label
+    order is canonical, so two call sites can never mint two spellings of
+    the same metric.
+    """
+    pieces = [name, *(str(p) for p in parts)]
+    for key in sorted(labels):
+        pieces.append(f"{key}.{labels[key]}")
+    return ".".join(pieces)
 
 
 class Counter:
@@ -111,21 +130,37 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------ #
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, *parts: Union[str, int], **labels: Union[str, int]
+    ) -> Counter:
+        if parts or labels:
+            name = flat_name(name, *parts, **labels)
         metric = self._counters.get(name)
         if metric is None:
             self._check_fresh(name)
             metric = self._counters[name] = Counter(name)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, *parts: Union[str, int], **labels: Union[str, int]
+    ) -> Gauge:
+        if parts or labels:
+            name = flat_name(name, *parts, **labels)
         metric = self._gauges.get(name)
         if metric is None:
             self._check_fresh(name)
             metric = self._gauges[name] = Gauge(name)
         return metric
 
-    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        edges: Sequence[float],
+        *parts: Union[str, int],
+        **labels: Union[str, int],
+    ) -> Histogram:
+        if parts or labels:
+            name = flat_name(name, *parts, **labels)
         metric = self._histograms.get(name)
         if metric is None:
             self._check_fresh(name)
@@ -137,6 +172,27 @@ class MetricsRegistry:
     def _check_fresh(self, name: str) -> None:
         if name in self._counters or name in self._gauges or name in self._histograms:
             raise ValueError(f"metric {name!r} already registered with another type")
+
+    def reset(self) -> None:
+        """Zero every metric in place, keeping registrations (and therefore
+        any references instrumentation sites hold) valid.
+
+        Used between runs that share a registry — e.g. a resumed serve
+        session re-seeding cumulative counters after recovery replay.
+        """
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+            gauge.minimum = None
+            gauge.maximum = None
+            gauge.samples = 0
+        for histogram in self._histograms.values():
+            histogram.counts = [0] * len(histogram.counts)
+            histogram.total = 0.0
+            histogram.count = 0
+            histogram.minimum = None
+            histogram.maximum = None
 
     # ------------------------------------------------------------------ #
 

@@ -54,6 +54,7 @@ from repro.store.recovery import RecoveryResult, recover
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.storage import CrashPlan
+    from repro.obs.events import EventEmitter
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -91,6 +92,7 @@ def open_store(
     fsync: bool = True,
     serve: Optional[Dict[str, Any]] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    emitter: Optional["EventEmitter"] = None,
     crash: Optional["CrashPlan"] = None,
 ) -> Tuple[Blockchain, DiskStore, RecoveryResult]:
     """Recover (or create) ``data_dir`` and return a chain wired to disk.
@@ -100,6 +102,8 @@ def open_store(
     path.  ``serve`` (only used when the dir is fresh) pins the session
     parameters future resumes must match.
     """
+    from repro.obs.events import NULL_EMITTER
+
     result = recover(data_dir, genesis_state, fsync=fsync, metrics=metrics)
     store = DiskStore(
         data_dir,
@@ -107,6 +111,7 @@ def open_store(
         compact=compact,
         fsync=fsync,
         metrics=metrics,
+        emitter=emitter if emitter is not None else NULL_EMITTER,
         crash=crash,
     )
     if result.fresh:

@@ -32,6 +32,7 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol
 
 from repro.chain.block import Block
+from repro.obs.events import NULL_EMITTER, EventEmitter
 from repro.state.statedb import StateSnapshot
 from repro.store.blocklog import RECORD_HEADER, BlockLog
 from repro.store.codec import encode_block, encode_header, verify_roundtrip
@@ -99,6 +100,7 @@ class DiskStore:
         fsync: bool = True,
         verify_writes: bool = True,
         metrics: Optional["MetricsRegistry"] = None,
+        emitter: EventEmitter = NULL_EMITTER,
         crash: Optional["CrashPlan"] = None,
     ) -> None:
         self.data_dir = data_dir
@@ -107,10 +109,15 @@ class DiskStore:
         self.fsync = fsync
         self.verify_writes = verify_writes
         self.metrics = metrics
+        self.emitter = emitter
         self.crash = crash
         self.manifest = Manifest()
         self.log: Optional[BlockLog] = None
         self._sealed = False
+        #: compaction generation counter (labels per-generation metrics)
+        self.generation = 0
+        #: wall µs the latest on_block spent end-to-end (SLO store-write feed)
+        self.last_commit_us = 0.0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -126,7 +133,9 @@ class DiskStore:
         """Create a fresh data dir: genesis snapshot + open manifest."""
         os.makedirs(self.data_dir, exist_ok=True)
         self.log = BlockLog(
-            os.path.join(self.data_dir, DEFAULT_LOG_NAME), fsync=self.fsync
+            os.path.join(self.data_dir, DEFAULT_LOG_NAME),
+            fsync=self.fsync,
+            metrics=self.metrics,
         )
         filename, digest = write_snapshot(
             self.data_dir, 0, genesis_state, fsync=self.fsync
@@ -154,6 +163,7 @@ class DiskStore:
         """Take over a recovered data dir (recovery already verified it)."""
         self.manifest = manifest
         self.log = log
+        log.metrics = self.metrics  # recovery opened it uninstrumented
         self.manifest.log_bytes = log.size
         self.manifest.clean = False
         self.manifest.write(self.data_dir, fsync=self.fsync)
@@ -189,8 +199,19 @@ class DiskStore:
             crash.fire("torn_append", height)  # always exits here
         before = self.log.size
         self.log.append(block)
+        appended = self.log.size - before
         self._count("store.blocks_appended")
-        self._count("store.bytes_appended", self.log.size - before)
+        self._count("store.bytes_appended", appended)
+        if self.emitter.enabled:
+            # header timestamps are the simulated clock, so the event
+            # stream stays byte-identical across same-seed runs
+            self.emitter.emit(
+                "store_append",
+                float(block.header.timestamp),
+                height=height,
+                bytes=appended,
+                log_bytes=self.log.size,
+            )
         if crash is not None:
             crash.fire("after_append", height)
 
@@ -216,6 +237,13 @@ class DiskStore:
                 self.metrics.histogram(
                     "store.snapshot_us", SNAPSHOT_US_EDGES
                 ).observe((time.perf_counter() - snap_started) * 1e6)
+            if self.emitter.enabled:
+                self.emitter.emit(
+                    "store_snapshot",
+                    float(block.header.timestamp),
+                    height=height,
+                    state_root=bytes(post_state.state_root()).hex()[:16],
+                )
             if crash is not None:
                 crash.fire("after_snapshot", height)
 
@@ -236,14 +264,17 @@ class DiskStore:
             and self.manifest.snapshot is not None
             and self.manifest.snapshot.height >= self.manifest.log_start_height
         ):
-            self._compact(self.manifest.snapshot.height)
-
-        if self.metrics is not None:
-            self.metrics.histogram("store.commit_us", SNAPSHOT_US_EDGES).observe(
-                (time.perf_counter() - started) * 1e6
+            self._compact(
+                self.manifest.snapshot.height, ts=float(block.header.timestamp)
             )
 
-    def _compact(self, horizon: int) -> None:
+        self.last_commit_us = (time.perf_counter() - started) * 1e6
+        if self.metrics is not None:
+            self.metrics.histogram("store.commit_us", SNAPSHOT_US_EDGES).observe(
+                self.last_commit_us
+            )
+
+    def _compact(self, horizon: int, *, ts: float = 0.0) -> None:
         """Keep only records above ``horizon`` in a new-generation log file.
 
         Crash-safe: the new generation is built in a temp file and
@@ -274,8 +305,25 @@ class DiskStore:
         if os.path.abspath(old_path) != os.path.abspath(new_path):
             os.remove(old_path)
         self.log = new_log
+        new_log.metrics = self.metrics
+        self.generation += 1
         self._count("store.compactions")
         self._count("store.compacted_blocks", max(dropped, 0))
+        if self.metrics is not None:
+            # per-generation label (flat dotted key via the label helper):
+            # store.compacted_blocks.gen.<n>
+            self.metrics.counter(
+                "store.compacted_blocks", gen=self.generation
+            ).inc(max(dropped, 0))
+        if self.emitter.enabled:
+            self.emitter.emit(
+                "store_compaction",
+                ts,
+                horizon=horizon,
+                generation=self.generation,
+                dropped=max(dropped, 0),
+                log_bytes=new_log.size,
+            )
         self._prune_snapshots()
 
     def _prune_snapshots(self) -> None:

@@ -25,17 +25,25 @@ from __future__ import annotations
 import io
 import os
 import struct
+import time
 import zlib
-from typing import Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.chain.block import Block
 from repro.store.codec import decode_block, encode_block
 from repro.store.errors import BlockLogCorruptError, TornTailError
 
-__all__ = ["BlockLog", "LOG_MAGIC", "RECORD_HEADER"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["BlockLog", "LOG_MAGIC", "RECORD_HEADER", "IO_US_EDGES"]
 
 LOG_MAGIC = b"RPBLKLG1"
 RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Histogram edges (µs) for ``store.append_us`` / ``store.fsync_us`` —
+#: spans SSD sync latencies up to pathological seconds-long stalls.
+IO_US_EDGES = (0.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7)
 
 #: Hard ceiling on one record — a length field above this is corruption,
 #: not a block (the biggest benchmark blocks encode to well under 1 MiB).
@@ -54,9 +62,16 @@ def _fsync_dir(path: str) -> None:
 class BlockLog:
     """Append-only, length-prefixed, checksummed block storage."""
 
-    def __init__(self, path: str, *, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.path = path
         self.fsync = fsync
+        self.metrics = metrics
         fresh = not os.path.exists(path)
         self._fh: Optional[io.BufferedRandom] = open(  # noqa: SIM115 - long-lived
             path, "a+b"
@@ -129,6 +144,8 @@ class BlockLog:
         Only the storage-fault tests use it.
         """
         assert self._fh is not None
+        metrics = self.metrics
+        started = time.perf_counter() if metrics is not None else 0.0
         payload = encode_block(block)
         record = RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         offset = self._fh.seek(0, os.SEEK_END)
@@ -137,7 +154,17 @@ class BlockLog:
         self._fh.write(record)
         self._fh.flush()
         if self.fsync:
+            sync_started = time.perf_counter() if metrics is not None else 0.0
             os.fsync(self._fh.fileno())
+            if metrics is not None:
+                metrics.histogram("store.fsync_us", IO_US_EDGES).observe(
+                    (time.perf_counter() - sync_started) * 1e6
+                )
+                metrics.counter("store.fsyncs").inc()
+        if metrics is not None:
+            metrics.histogram("store.append_us", IO_US_EDGES).observe(
+                (time.perf_counter() - started) * 1e6
+            )
         return offset
 
     def truncate_to(self, offset: int) -> None:

@@ -35,6 +35,7 @@ to exit code 130 and SIGTERM/target-reached to 0.
 from __future__ import annotations
 
 import dataclasses
+import os
 import signal
 import sys
 import time
@@ -42,6 +43,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.network.node import ProposerNode, ValidatorNode
+from repro.obs.live import LiveConfig, LiveTelemetry
+from repro.obs.metrics import MetricsRegistry
 from repro.store import open_store
 from repro.store.backend import DiskStore
 from repro.store.errors import ConfigMismatchError, StoreError
@@ -51,6 +54,9 @@ from repro.workload.scenarios import mainnet_scenario
 from repro.workload.universe import build_universe
 
 __all__ = ["ServeConfig", "ServeReport", "NodeService"]
+
+#: Name of the JSONL event log written inside the data dir (``--events``).
+EVENTS_LOG_NAME = "events.jsonl"
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,20 @@ class ServeConfig:
     fsync: bool = True
     #: print a progress line every N blocks (0 = quiet)
     report_every: int = 0
+    # -- live telemetry (none of these pin the trajectory) -------------- #
+    #: write a structured JSONL event log next to the block log
+    events: bool = False
+    #: loopback HTTP status endpoint (None = off, 0 = ephemeral port)
+    status_port: Optional[int] = None
+    #: sample SLO windows on the wall clock instead of the sim clock
+    wall_clock_slo: bool = False
+    #: SLO window width (clock seconds) and retained window count
+    slo_window_s: float = 60.0
+    slo_history: int = 30
+    #: /healthz flips unhealthy after stall_factor × stall_interval_s of
+    #: wall-clock silence (no block sealed)
+    stall_interval_s: float = 5.0
+    stall_factor: float = 4.0
 
     def pinned(self) -> Dict[str, Any]:
         """The subset a resume must match exactly."""
@@ -92,6 +112,14 @@ class ServeReport:
     sealed: bool
     stop_signal: Optional[int] = None
     healed: List[str] = field(default_factory=list)
+    # -- telemetry totals (cumulative: survive kill-and-resume) --------- #
+    #: total blocks behind the head, counting recovered ones
+    blocks_total: int = 0
+    aborts: int = 0
+    fallbacks: int = 0
+    unhealthy_intervals: int = 0
+    events_written: int = 0
+    status_url: Optional[str] = None
 
     @property
     def exit_code(self) -> int:
@@ -107,7 +135,10 @@ class ServeReport:
         return (
             f"serve: height={self.height} produced={self.produced} "
             f"resumed_from={self.resumed_from} head={self.head_hash[:12]}… "
-            f"sealed={self.sealed} stopped_by={how}"
+            f"sealed={self.sealed} stopped_by={how} "
+            f"blocks_total={self.blocks_total} aborts={self.aborts} "
+            f"fallbacks={self.fallbacks} "
+            f"unhealthy_intervals={self.unhealthy_intervals}"
         )
 
 
@@ -124,6 +155,11 @@ class NodeService:
     ) -> None:
         self.config = config
         self.backend = backend
+        # telemetry derives its events from the metrics seams, so any
+        # live-telemetry feature needs a registry even if the caller
+        # didn't pass one
+        if metrics is None and (config.events or config.status_port is not None):
+            metrics = MetricsRegistry()
         self.metrics = metrics
         self.crash = crash
         self._stop_signal: Optional[int] = None
@@ -131,6 +167,25 @@ class NodeService:
         self.recovery: Optional[RecoveryResult] = None
         #: recovery summary captured before the loop advances the chain
         self.recovery_summary: str = ""
+        self.telemetry: Optional[LiveTelemetry] = None
+
+    def _build_telemetry(self) -> Optional[LiveTelemetry]:
+        cfg = self.config
+        if not cfg.events and cfg.status_port is None:
+            return None
+        assert self.metrics is not None
+        live = LiveConfig(
+            events_path=(
+                os.path.join(cfg.data_dir, EVENTS_LOG_NAME) if cfg.events else None
+            ),
+            window_s=cfg.slo_window_s,
+            history=cfg.slo_history,
+            wall_clock=cfg.wall_clock_slo,
+            http_port=cfg.status_port,
+            stall_interval_s=cfg.stall_interval_s,
+            stall_factor=cfg.stall_factor,
+        )
+        return LiveTelemetry(self.metrics, config=live)
 
     # ------------------------------------------------------------------ #
     # signals
@@ -222,6 +277,7 @@ class NodeService:
         )
         generator = BlockWorkloadGenerator(universe, workload)
 
+        telemetry = self.telemetry = self._build_telemetry()
         chain, store, recovery = open_store(
             cfg.data_dir,
             universe.genesis,
@@ -230,6 +286,7 @@ class NodeService:
             fsync=cfg.fsync,
             serve=cfg.pinned(),
             metrics=self.metrics,
+            emitter=telemetry.emitter if telemetry is not None else None,
             crash=self.crash,
         )
         self.store = store
@@ -238,6 +295,34 @@ class NodeService:
         self._check_pinned(recovery.manifest.serve, cfg.pinned())
         resumed_from = chain.height()
         self._fast_forward(generator, chain, resumed_from)
+
+        status_url: Optional[str] = None
+        if telemetry is not None:
+            head_ts = float(chain.head.header.timestamp)
+            telemetry.seed_totals(resumed_from)
+            telemetry.serve_started(
+                head_ts, height=resumed_from, resumed=not recovery.fresh
+            )
+            telemetry.recovery_finished(
+                head_ts,
+                height=resumed_from,
+                replayed=recovery.replayed,
+                healed=len(recovery.healed),
+            )
+            bound = telemetry.start_server()
+            if bound is not None:
+                status_url = f"http://{bound[0]}:{bound[1]}"
+                print(
+                    f"serve: status endpoint listening on {status_url}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            telemetry.refresh(
+                height=resumed_from,
+                head=bytes(chain.head.hash).hex(),
+                produced=0,
+                resumed_from=resumed_from,
+            )
 
         proposer = ProposerNode(
             "serve-proposer", metrics=self.metrics, backend=self.backend
@@ -251,7 +336,9 @@ class NodeService:
         )
 
         produced = 0
+        sealed_ok = False
         started = time.perf_counter()
+        metrics = self.metrics
         try:
             while not self.stopping:
                 if cfg.max_height and chain.height() >= cfg.max_height:
@@ -260,6 +347,7 @@ class NodeService:
                 parent_state = chain.state_at(head.hash)
                 assert parent_state is not None
                 txs = generator.generate_block_txs()
+                block_started = time.perf_counter()
                 sealed = proposer.build_block(
                     head.header,
                     parent_state,
@@ -274,6 +362,32 @@ class NodeService:
                         f"{failure.reason.value if failure else 'unknown'}"
                     )
                 produced += 1
+                if telemetry is not None:
+                    new_head = chain.head
+                    # sim seal latency: proposer + pipeline makespans the
+                    # metrics seams recorded for exactly this block
+                    sim_latency = 0.0
+                    if metrics is not None:
+                        sim_latency = (
+                            metrics.gauge("proposer.makespan_us").value
+                            + metrics.gauge("pipeline.makespan_us").value
+                        )
+                    telemetry.block_sealed(
+                        height=new_head.number,
+                        sim_ts=float(new_head.header.timestamp),
+                        txs=len(sealed.block),
+                        gas_used=sealed.proposal.gas_used,
+                        seal_latency_us=sim_latency,
+                        wall_latency_us=(time.perf_counter() - block_started)
+                        * 1e6,
+                        store_write_us=store.last_commit_us,
+                    )
+                    telemetry.refresh(
+                        height=new_head.number,
+                        head=bytes(new_head.hash).hex(),
+                        produced=produced,
+                        resumed_from=resumed_from,
+                    )
                 if cfg.report_every and produced % cfg.report_every == 0:
                     elapsed = time.perf_counter() - started
                     print(
@@ -285,13 +399,21 @@ class NodeService:
             store.seal()
             sealed_ok = True
         finally:
+            if telemetry is not None:
+                telemetry.serve_stopped(
+                    float(chain.head.header.timestamp),
+                    height=chain.height(),
+                    produced=produced,
+                    sealed=sealed_ok,
+                )
+                telemetry.close()
             validator.pipeline.close()
             store.close()
             if handle_signals:
                 self.restore_signal_handlers()
 
         head = chain.head
-        return ServeReport(
+        report = ServeReport(
             height=head.number,
             head_hash=bytes(head.hash).hex(),
             state_root=bytes(head.header.state_root).hex(),
@@ -300,4 +422,21 @@ class NodeService:
             sealed=sealed_ok,
             stop_signal=self._stop_signal,
             healed=list(recovery.healed),
+            status_url=status_url,
         )
+        if telemetry is not None:
+            report.blocks_total = telemetry.slo.total_blocks
+            report.aborts = telemetry.slo.total_aborts
+            report.fallbacks = telemetry.slo.total_fallbacks
+            report.unhealthy_intervals = telemetry.watchdog.unhealthy_intervals
+            report.events_written = getattr(telemetry.emitter, "seq", 0)
+        elif metrics is not None:
+            # non-instrumented serve: fall back to the raw counters so the
+            # exit line still carries totals
+            counters = metrics.snapshot()["counters"]
+            report.blocks_total = head.number
+            report.aborts = int(counters.get("proposer.aborts", 0))
+            report.fallbacks = int(counters.get("pipeline.serial_fallbacks", 0))
+        else:
+            report.blocks_total = head.number
+        return report

@@ -1,0 +1,157 @@
+"""Prometheus exposition rendering and the loopback status server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpd import StatusServer, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloWindows
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.blocks_total").inc(7)
+    registry.gauge("serve.height").set(7.0)
+    hist = registry.histogram("store.commit_us", (0.0, 10.0, 100.0, 1000.0))
+    for value in (5.0, 50.0, 500.0, 5.0):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_counters_become_total(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_serve_blocks_total_total counter" in text
+        assert "repro_serve_blocks_total_total 7" in text
+
+    def test_gauges_pass_through(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_serve_height gauge" in text
+        assert "repro_serve_height 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(_snapshot())
+        lines = [l for l in text.splitlines() if "store_commit_us_bucket" in l]
+        # interior edges 10, 100 then +Inf; counts 2, 1, 1 → cumulative 2, 3, 4
+        assert lines == [
+            'repro_store_commit_us_bucket{le="10"} 2',
+            'repro_store_commit_us_bucket{le="100"} 3',
+            'repro_store_commit_us_bucket{le="+Inf"} 4',
+        ]
+        assert "repro_store_commit_us_sum 560" in text
+        assert "repro_store_commit_us_count 4" in text
+
+    def test_slo_quantiles_and_totals(self):
+        slo = SloWindows(window_s=60.0)
+        slo.observe_block(1.0, seal_latency_us=123.0, txs=4, executions=5, aborts=1)
+        text = render_prometheus(_snapshot(), slo=slo.snapshot())
+        assert "repro_slo_blocks_total 1" in text
+        assert 'repro_slo_seal_latency_us{quantile="0.5"} 123' in text
+        assert 'repro_slo_seal_latency_us{quantile="0.99"} 123' in text
+        assert "repro_slo_abort_rate 0.2" in text
+
+    def test_health_flags(self):
+        healthy = render_prometheus({}, health={"healthy": True, "ready": True})
+        assert "repro_healthy 1" in healthy and "repro_ready 1" in healthy
+        sick = render_prometheus({}, health={"healthy": False, "ready": False})
+        assert "repro_healthy 0" in sick and "repro_ready 0" in sick
+        assert "repro_up 1" in sick  # the scrape itself proves the process
+
+    def test_every_sample_line_is_well_formed(self):
+        slo = SloWindows()
+        slo.observe_block(0.0, seal_latency_us=9.0)
+        text = render_prometheus(
+            _snapshot(), slo=slo.snapshot(), health={"healthy": True}
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)  # parses as a number
+            assert name.startswith("repro_")
+            assert " " not in name.replace(" ", "", 0) or "{" in name
+
+
+class _StubProvider:
+    def __init__(self):
+        self.healthy = True
+        self.ready = True
+
+    def metrics_text(self):
+        return "repro_up 1\n"
+
+    def status_json(self):
+        return {"schema": 1, "height": 3}
+
+    def health(self):
+        return {
+            "healthy": self.healthy,
+            "ready": self.ready,
+            "detail": "ok" if self.healthy else "no block sealed for 99.0s",
+        }
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode()
+
+
+class TestStatusServer:
+    @pytest.fixture()
+    def served(self):
+        provider = _StubProvider()
+        server = StatusServer(provider, port=0)
+        host, port = server.start()
+        yield provider, f"http://{host}:{port}"
+        server.stop()
+
+    def test_binds_ephemeral_loopback_port(self, served):
+        _, url = served
+        assert url.startswith("http://127.0.0.1:")
+        assert not url.endswith(":0")
+
+    def test_metrics_route(self, served):
+        _, url = served
+        code, body = _get(f"{url}/metrics")
+        assert code == 200
+        assert body == "repro_up 1\n"
+
+    def test_status_route_is_json(self, served):
+        _, url = served
+        code, body = _get(f"{url}/status")
+        assert code == 200
+        assert json.loads(body) == {"height": 3, "schema": 1}
+
+    def test_healthz_flips_with_the_watchdog(self, served):
+        provider, url = served
+        code, body = _get(f"{url}/healthz")
+        assert (code, body) == (200, "ok\n")
+        provider.healthy = False
+        code, body = _get(f"{url}/healthz")
+        assert code == 503
+        assert body.startswith("unhealthy: no block sealed")
+
+    def test_readyz(self, served):
+        provider, url = served
+        assert _get(f"{url}/readyz")[0] == 200
+        provider.ready = False
+        assert _get(f"{url}/readyz")[0] == 503
+
+    def test_unknown_route_404(self, served):
+        _, url = served
+        assert _get(f"{url}/nope")[0] == 404
+
+    def test_stop_releases_the_port(self):
+        provider = _StubProvider()
+        server = StatusServer(provider, port=0)
+        host, port = server.start()
+        server.stop()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(f"http://{host}:{port}/healthz", timeout=1)

@@ -1,0 +1,193 @@
+"""LiveTelemetry: metrics-delta events, counter re-seeding, registry helpers."""
+
+import urllib.request
+
+import pytest
+
+from repro.obs.live import (
+    WATCHED_COUNTERS,
+    LiveConfig,
+    LiveTelemetry,
+    MetricsDelta,
+)
+from repro.obs.metrics import MetricsRegistry, flat_name
+from repro.store.service import NodeService, ServeConfig
+
+
+class TestFlatName:
+    def test_positional_parts_verbatim(self):
+        assert flat_name("validator.failure", "bad_root") == "validator.failure.bad_root"
+        assert flat_name("artifacts", "hits") == "artifacts.hits"
+
+    def test_labels_sorted_key_value(self):
+        assert flat_name("store.append", gen=3) == "store.append.gen.3"
+        assert (
+            flat_name("store.append", zeta=1, alpha=2)
+            == "store.append.alpha.2.zeta.1"
+        )
+
+    def test_parts_then_labels(self):
+        assert flat_name("a", "b", c=1) == "a.b.c.1"
+
+    def test_registry_accepts_labelled_calls(self):
+        registry = MetricsRegistry()
+        registry.counter("store.compacted_blocks", gen=2).inc(5)
+        assert registry.snapshot()["counters"]["store.compacted_blocks.gen.2"] == 5
+
+
+class TestRegistryReset:
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h", (0.0, 1.0, 2.0))
+        counter.inc(3)
+        gauge.set(9.0)
+        hist.observe(0.5)
+        registry.reset()
+        # held references stay live — the same objects, zeroed
+        assert counter is registry.counter("c") and counter.value == 0
+        assert gauge is registry.gauge("g") and gauge.value == 0.0
+        assert gauge.samples == 0 and gauge.minimum is None
+        assert hist.count == 0 and hist.counts == [0, 0]
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+
+class TestMetricsDelta:
+    def test_delta_reports_movement_once(self):
+        registry = MetricsRegistry()
+        scanner = MetricsDelta(registry)
+        registry.counter("proposer.aborts").inc(4)
+        moved = scanner.delta()
+        assert moved["proposer.aborts"] == 4
+        assert scanner.delta()["proposer.aborts"] == 0
+
+    def test_rebase_swallows_history(self):
+        registry = MetricsRegistry()
+        scanner = MetricsDelta(registry)
+        registry.counter("store.blocks_appended").inc(8)  # recovery replay
+        scanner.rebase()
+        assert scanner.delta()["store.blocks_appended"] == 0
+
+    def test_watched_set_covers_the_event_sources(self):
+        assert {
+            "proposer.aborts",
+            "pipeline.exec_retries",
+            "pipeline.serial_fallbacks",
+            "node.proposers_quarantined",
+            "store.blocks_appended",
+        } <= set(WATCHED_COUNTERS)
+
+
+class TestLiveTelemetry:
+    def test_default_is_null_emitter(self):
+        telemetry = LiveTelemetry(MetricsRegistry())
+        assert telemetry.emitter.enabled is False
+        assert telemetry.server is None
+
+    def test_block_sealed_derives_events_from_counter_motion(self, tmp_path):
+        registry = MetricsRegistry()
+        telemetry = LiveTelemetry(
+            registry, config=LiveConfig(events_path=str(tmp_path / "e.jsonl"))
+        )
+        registry.counter("proposer.executions").inc(10)
+        registry.counter("proposer.aborts").inc(3)
+        registry.counter("pipeline.serial_fallbacks").inc(1)
+        telemetry.block_sealed(
+            height=1, sim_ts=12.0, txs=9, gas_used=1000, seal_latency_us=55.0
+        )
+        telemetry.close()
+        from repro.obs.events import read_events
+
+        events = read_events(str(tmp_path / "e.jsonl"))
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["block_sealed", "proposal_abort", "serial_fallback"]
+        assert events[0]["aborts"] == 3
+        assert telemetry.slo.total_aborts == 3
+        assert registry.snapshot()["counters"]["serve.blocks_total"] == 1
+
+    def test_seed_totals_reseeds_cumulative_counters(self):
+        registry = MetricsRegistry()
+        telemetry = LiveTelemetry(registry)
+        registry.counter("store.blocks_appended").inc(6)  # recovery replay
+        telemetry.seed_totals(6)
+        assert registry.snapshot()["counters"]["serve.blocks_total"] == 6
+        assert telemetry.slo.total_blocks == 6
+        # the replay movement must not surface as fresh events
+        telemetry.block_sealed(
+            height=7, sim_ts=84.0, txs=1, gas_used=10, seal_latency_us=5.0
+        )
+        assert telemetry.slo.total_blocks == 7
+        assert registry.snapshot()["counters"]["serve.blocks_total"] == 7
+
+
+@pytest.mark.store
+class TestResumedServeExposesCumulativeCounters:
+    """Acceptance: a resumed node's /metrics carries chain-cumulative totals."""
+
+    def test_second_session_reports_total_height(self, tmp_path):
+        data_dir = str(tmp_path / "node")
+
+        def session(target):
+            cfg = ServeConfig(
+                data_dir=data_dir,
+                txs_per_block=12,
+                max_height=target,
+                snapshot_interval=4,
+                fsync=False,
+                events=True,
+                status_port=0,
+            )
+            service = NodeService(cfg)
+            report = service.run(handle_signals=False)
+            return service, report
+
+        _, first = session(3)
+        assert first.blocks_total == 3 and first.produced == 3
+
+        service, second = session(6)
+        assert second.produced == 3  # only the new blocks this session
+        assert second.blocks_total == 6  # …but totals are cumulative
+        assert second.resumed_from == 3
+        snapshot = service.metrics.snapshot()
+        assert snapshot["counters"]["serve.blocks_total"] == 6
+        assert snapshot["gauges"]["serve.height"]["value"] == 6.0
+        assert "blocks_total=6" in second.summary()
+
+    def test_metrics_endpoint_scrapes_mid_run(self, tmp_path):
+        """Drive the provider exactly as the HTTP thread does mid-run."""
+        cfg = ServeConfig(
+            data_dir=str(tmp_path / "node"),
+            txs_per_block=12,
+            max_height=4,
+            snapshot_interval=4,
+            fsync=False,
+            status_port=0,
+        )
+        service = NodeService(cfg)
+        scrapes = []
+        original = NodeService._build_telemetry
+
+        def hooked(self):
+            telemetry = original(self)
+            real = telemetry.refresh
+
+            def refresh(**kw):
+                real(**kw)
+                if telemetry.server is not None:
+                    url = f"http://127.0.0.1:{telemetry.server.port}"
+                    with urllib.request.urlopen(f"{url}/metrics", timeout=5) as r:
+                        scrapes.append(r.read().decode())
+            telemetry.refresh = refresh
+            return telemetry
+
+        NodeService._build_telemetry = hooked
+        try:
+            report = service.run(handle_signals=False)
+        finally:
+            NodeService._build_telemetry = original
+        assert report.status_url is not None
+        assert len(scrapes) >= 4
+        assert "repro_serve_blocks_total_total 4" in scrapes[-1]
+        assert "repro_healthy 1" in scrapes[-1]

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all test-fast test-faults test-store serve-demo telemetry-smoke check check-fuzz lint typecheck coverage bench bench-json bench-hotpath bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults test-store test-blockstm serve-demo telemetry-smoke check check-fuzz check-fuzz-blockstm lint typecheck coverage bench bench-json bench-hotpath bench-strategies bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -24,6 +24,11 @@ test-faults:
 # durable-storage engine: block log, snapshots, recovery, kill-and-resume
 test-store:
 	$(PYTHON) -m pytest tests benchmarks -m store -q
+
+# Block-STM strategy tier: engine unit tests, cross-strategy equivalence,
+# and the three-way ablation bench (everything tagged @pytest.mark.blockstm)
+test-blockstm:
+	$(PYTHON) -m pytest tests benchmarks -m blockstm -q
 
 # run a persistent node for 20 blocks against ./serve-demo-data, then resume
 # it (second run recovers from disk and produces nothing new)
@@ -47,6 +52,12 @@ check:
 # full conformance chain; failing seeds land in fuzz_failures.json
 check-fuzz:
 	$(PYTHON) -m repro fuzz --schedules 200 --budget 120 --out fuzz_failures.json
+
+# same sweep through the Block-STM scheduler's yield points (wave width +
+# execution order permutations); failing seeds carry strategy="block-stm"
+check-fuzz-blockstm:
+	$(PYTHON) -m repro --strategy block-stm fuzz --schedules 200 --budget 120 \
+		--out fuzz_failures_blockstm.json
 
 lint:
 	ruff check src tests benchmarks examples
@@ -78,6 +89,12 @@ bench-json:
 bench-hotpath:
 	$(PYTHON) -m pytest benchmarks/bench_hotpath.py -q
 
+# three-way proposer strategy ablation (occ-wsi | two-phase | block-stm);
+# regenerates the committed BENCH_strategies.json golden bit-for-bit (the
+# sim clock is deterministic) — CI's strategy-ablation job gates on it
+bench-strategies:
+	$(PYTHON) benchmarks/bench_ablation_strategies.py --quick
+
 # regression gate: emit fresh sim-deterministic baselines into a scratch dir
 # (REPRO_BENCH_BLOCKS=4 matches how the committed goldens were generated)
 # and diff them against the committed goldens in benchmarks/results/
@@ -105,6 +122,7 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results/.fresh \
+		benchmarks/results/.fresh-strategies \
 		.coverage coverage.xml .mypy_cache .ruff_cache serve-demo-data
 	find benchmarks/results -type f ! -name 'BENCH_*.json' -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -20,6 +20,11 @@ All subcommands run on a freshly generated universe; ``--seed``,
 ``sim`` (default) keeps the simulated-clock event loop every figure script
 uses; the other three run the same algorithms on real cores (see
 :mod:`repro.exec`), turning makespans into wall-clock microseconds.
+
+``--strategy occ-wsi|two-phase|block-stm`` picks the proposer engine
+(see :mod:`repro.core.strategies`); every subcommand that builds blocks
+honours it, so ``python -m repro --strategy block-stm fuzz`` fuzzes the
+Block-STM scheduler's yield points.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ from statistics import mean
 from repro.analysis.report import format_table
 from repro.chain.blockchain import Blockchain
 from repro.core.baselines import SerialExecutor
-from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.core.occ_wsi import ProposerConfig
+from repro.core.strategies import STRATEGY_CHOICES, build_proposer
 from repro.core.pipeline import PipelineConfig, ValidatorPipeline
 from repro.core.validator import ParallelValidator, ValidatorConfig
 from repro.evm.interpreter import ExecutionContext
@@ -56,10 +62,18 @@ def _setup(args):
     return universe, generator, chain
 
 
+def _proposer_config(args, **overrides) -> ProposerConfig:
+    """The CLI's one ProposerConfig factory — every subcommand that builds
+    blocks goes through it so ``--strategy`` is honoured everywhere."""
+    return ProposerConfig(strategy=args.strategy, **overrides)
+
+
 def cmd_demo(args) -> int:
     universe, generator, chain = _setup(args)
     backend = args.exec_backend
-    proposer = ProposerNode("cli-proposer", backend=backend)
+    proposer = ProposerNode(
+        "cli-proposer", config=_proposer_config(args), backend=backend
+    )
     validator = ValidatorNode("cli-validator", universe.genesis, backend=backend)
     txs = generator.generate_block_txs()
     sealed = proposer.build_block(chain.genesis.header, universe.genesis, txs)
@@ -88,7 +102,7 @@ def cmd_proposer(args) -> int:
     serial = SerialExecutor()
     blocks = []
     parent_header, parent_state = chain.genesis.header, universe.genesis
-    seal_node = ProposerNode("cli")
+    seal_node = ProposerNode("cli", config=_proposer_config(args))
     for _ in range(args.blocks_per_point):
         txs = generator.generate_block_txs()
         sealed = seal_node.build_block(parent_header, parent_state, txs)
@@ -98,8 +112,8 @@ def cmd_proposer(args) -> int:
 
     rows = []
     for lanes in args.lanes:
-        engine = OCCWSIProposer(
-            config=ProposerConfig(lanes=lanes), backend=args.exec_backend
+        engine = build_proposer(
+            _proposer_config(args, lanes=lanes), backend=args.exec_backend
         )
         speedups = []
         for txs, ph, ps, header in blocks:
@@ -124,7 +138,7 @@ def cmd_proposer(args) -> int:
 def cmd_validator(args) -> int:
     universe, generator, chain = _setup(args)
     serial = SerialExecutor()
-    proposer = ProposerNode("cli")
+    proposer = ProposerNode("cli", config=_proposer_config(args))
     blocks = []
     parent_header, parent_state = chain.genesis.header, universe.genesis
     for _ in range(args.blocks_per_point):
@@ -174,7 +188,7 @@ def cmd_pipeline(args) -> int:
 
 def cmd_hotspot(args) -> int:
     universe, _, chain = _setup(args)
-    proposer = ProposerNode("cli")
+    proposer = ProposerNode("cli", config=_proposer_config(args))
     validator = ParallelValidator(
         config=ValidatorConfig(lanes=16), backend=args.exec_backend
     )
@@ -225,7 +239,11 @@ def cmd_trace(args) -> int:
         sim.run()
     else:  # "round": proposer -> validator round trips on one chain
         proposer = ProposerNode(
-            "proposer", tracer=tracer, metrics=metrics, backend=args.exec_backend
+            "proposer",
+            config=_proposer_config(args),
+            tracer=tracer,
+            metrics=metrics,
+            backend=args.exec_backend,
         )
         validator = ValidatorNode(
             "validator",
@@ -268,7 +286,9 @@ def _fuzz_scenario(args):
     on it so a repro file's recorded decisions land on the same workload."""
     from repro.check.fuzzer import ConformanceScenario
 
-    return ConformanceScenario.hotspot(n_txs=args.txs, seed=args.seed)
+    return ConformanceScenario.hotspot(
+        n_txs=args.txs, seed=args.seed, strategy=args.strategy
+    )
 
 
 def cmd_check(args) -> int:
@@ -292,13 +312,15 @@ def cmd_check(args) -> int:
 
     universe, generator, chain = _setup(args)
     serial = SerialExecutor()
-    proposer = ProposerNode("cli-check", backend=args.exec_backend)
+    proposer = ProposerNode(
+        "cli-check", config=_proposer_config(args), backend=args.exec_backend
+    )
     parent_header, parent_state = chain.genesis.header, universe.genesis
     rows, bad = [], 0
     for number in range(args.blocks_per_point):
         txs = generator.generate_block_txs()
         sealed = proposer.build_block(parent_header, parent_state, txs)
-        sched = verify_schedule(sealed.block)
+        sched = verify_schedule(sealed.block, strategy=args.strategy)
         order = verify_commit_order(sealed.proposal)
         diff = diff_proposal(sealed, parent_state)
         if not (sched.ok and order.ok and diff.ok):
@@ -462,6 +484,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for real-core backends (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGY_CHOICES,
+        default="occ-wsi",
+        help="proposer execution engine: occ-wsi (paper Alg. 1, default), "
+        "two-phase (Saraph & Herlihy), or block-stm (Gelashvili et al.)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -60,14 +60,18 @@ class DifferentialReport:
     findings: List[DiffFinding] = field(default_factory=list)
     #: Root the serial replay produced (None if replay aborted early).
     serial_state_root: Optional[bytes] = None
+    #: Proposer strategy behind the diffed artifact ("" when unknown) —
+    #: named in summaries so a divergence points at its engine.
+    strategy: str = ""
 
     def add(self, kind: str, index: int, detail: str) -> None:
         self.findings.append(DiffFinding(kind, index, detail))
         self.ok = False
 
     def summary(self) -> str:
+        origin = f"[{self.strategy}] " if self.strategy else ""
         head = (
-            f"differential: {'OK' if self.ok else 'DIVERGED'} — "
+            f"{origin}differential: {'OK' if self.ok else 'DIVERGED'} — "
             f"{self.n_txs} txs, {len(self.findings)} findings"
         )
         if self.ok:
@@ -234,6 +238,7 @@ def diff_proposal(
     """
     report = diff_block(sealed.block, parent_state, evm=evm, params=params)
     proposal = sealed.proposal
+    report.strategy = getattr(proposal, "strategy", "")
     committed = proposal.committed
 
     if sealed.post_state.state_root() != sealed.block.header.state_root:

@@ -36,8 +36,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.chain.block import Block, BlockProfile, TxProfileEntry
 from repro.chain.blockchain import Blockchain
 from repro.common.types import Address
-from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.core.occ_wsi import ProposerConfig
 from repro.core.proposer import seal_block
+from repro.core.strategies import STRATEGY_CHOICES, build_proposer
 from repro.core.validator import ParallelValidator, ValidatorConfig
 from repro.evm.interpreter import ExecutionContext
 from repro.exec.backend import ThreadBackend
@@ -162,6 +163,12 @@ class _FuzzProbe(ScheduleProbe):
     def component_order(self, lane_index: int, n: int) -> List[int]:
         return self._decide_order(f"component_order:{lane_index}", n)
 
+    def blockstm_wave_width(self, wave_index: int, max_width: int) -> int:
+        return self._decide_width(f"blockstm_width:{wave_index}", max_width)
+
+    def blockstm_exec_order(self, wave_index: int, n: int) -> List[int]:
+        return self._decide_order(f"blockstm_exec:{wave_index}", n)
+
 
 # --------------------------------------------------------------------- #
 # scenarios                                                             #
@@ -237,6 +244,11 @@ class ConformanceScenario:
     txs: List[Transaction]
     lanes: int = 4
     workers: int = 2
+    #: Proposer strategy the fuzzed propose leg runs
+    #: (:data:`~repro.core.strategies.STRATEGY_CHOICES`).  Block-STM
+    #: schedules flow through the collaborative scheduler's own yield
+    #: points (``blockstm_width:*`` / ``blockstm_exec:*``).
+    strategy: str = "occ-wsi"
     #: Blocks with poisoned profiles; validated with ``verify_profile=False``
     #: (the ablation under which only the footprint guards stand between a
     #: lying profile and a wrong merge).  The conformance property is that
@@ -257,6 +269,7 @@ class ConformanceScenario:
         lanes: int = 4,
         workers: int = 2,
         with_adversarial: bool = True,
+        strategy: str = "occ-wsi",
     ) -> "ConformanceScenario":
         """The default fuzz target: a contended block over a small world.
 
@@ -285,12 +298,15 @@ class ConformanceScenario:
                 seed=seed,
             ),
         )
+        if strategy not in STRATEGY_CHOICES:
+            raise ValueError(f"unknown strategy {strategy!r}")
         scenario = cls(
-            name="hotspot",
+            name="hotspot" if strategy == "occ-wsi" else f"hotspot[{strategy}]",
             universe=universe,
             txs=generator.generate_block_txs(),
             lanes=lanes,
             workers=workers,
+            strategy=strategy,
         )
         if with_adversarial:
             scenario.adversarial_blocks.append(forge_lying_profile_block(universe))
@@ -372,8 +388,8 @@ def run_schedule(
     pool.add_many(scenario.txs)
     probe.scope = "propose"
     with ThreadBackend(scenario.workers) as backend:
-        proposer = OCCWSIProposer(
-            config=ProposerConfig(lanes=scenario.lanes),
+        proposer = build_proposer(
+            ProposerConfig(lanes=scenario.lanes, strategy=scenario.strategy),
             backend=backend,
             probe=probe,
         )
@@ -390,7 +406,7 @@ def run_schedule(
         timestamp=ctx.timestamp,
         gas_limit=ctx.gas_limit,
     )
-    schedule_report = verify_schedule(sealed.block)
+    schedule_report = verify_schedule(sealed.block, strategy=scenario.strategy)
     if not schedule_report.ok:
         return FuzzFailure("schedule", schedule_report.summary(), schedule)
     diff_report = diff_proposal(sealed, genesis)
@@ -501,6 +517,8 @@ class FuzzResult:
     schedules_run: int
     failures: List[FuzzFailure]
     elapsed_s: float
+    #: Proposer strategy the session fuzzed (named in repro artifacts).
+    strategy: str = "occ-wsi"
 
     @property
     def ok(self) -> bool:
@@ -563,6 +581,7 @@ def fuzz_conformance(
         schedules_run=run,
         failures=failures,
         elapsed_s=time.monotonic() - started,
+        strategy=scenario.strategy,
     )
 
 
@@ -575,6 +594,7 @@ def save_failures(result: FuzzResult, path: str) -> None:
     """Write a fuzz session's failing schedules as a JSON repro file."""
     payload = {
         "scenario": result.scenario,
+        "strategy": result.strategy,
         "schedules_run": result.schedules_run,
         "elapsed_s": round(result.elapsed_s, 3),
         "failures": [

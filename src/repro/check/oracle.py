@@ -87,7 +87,7 @@ class ConflictEdge:
 class ScheduleViolation:
     """One reason the committed order is not conflict-serializable."""
 
-    kind: str  # 'future_read' | 'stale_read' | 'cycle' | 'store_mismatch' | 'missing_profile'
+    kind: str  # 'future_read' | 'stale_read' | 'unwitnessed_read' | 'cycle' | 'store_mismatch' | 'missing_profile'
     tx: int  # 1-based position of the offending transaction (0 = block-level)
     key: Optional[StateKey]
     detail: str
@@ -111,6 +111,9 @@ class ScheduleReport:
     #: included — useful for analysis/visualisation).
     edges: List[ConflictEdge] = field(default_factory=list)
     violations: List[ScheduleViolation] = field(default_factory=list)
+    #: Proposer strategy that produced the schedule ("" when unknown) —
+    #: carried into summaries so a violation names its engine.
+    strategy: str = ""
 
     @property
     def cycle(self) -> Optional[Tuple[ConflictEdge, ...]]:
@@ -128,8 +131,9 @@ class ScheduleReport:
 
     def summary(self) -> str:
         counts = self.edge_counts()
+        origin = f"[{self.strategy}] " if self.strategy else ""
         head = (
-            f"serializability: {'OK' if self.ok else 'VIOLATED'} — "
+            f"{origin}serializability: {'OK' if self.ok else 'VIOLATED'} — "
             f"{self.n_txs} txs, edges wr={counts['wr']} ww={counts['ww']} "
             f"rw={counts['rw']}, violations={len(self.violations)}"
         )
@@ -159,7 +163,23 @@ class ScheduleViolationError(AssertionError):
 _Entry = Tuple[Sequence[Tuple[StateKey, int]], Sequence[StateKey]]
 
 
-def _check_entries(entries: Sequence[_Entry]) -> ScheduleReport:
+def _check_entries(entries: Sequence[_Entry], *, semantics: str = "snapshot") -> ScheduleReport:
+    """Check one committed sequence under the given read-version semantics.
+
+    ``snapshot`` (OCC-WSI, two-phase): a read version is the **global
+    committed counter** at execution time — any value below the reader's
+    own position with no intervening writer is consistent.
+
+    ``multiversion`` (Block-STM): a read version names the **exact
+    writer** whose value the read observed (0 = base/committed prefix).
+    All snapshot invariants still apply (a multi-version read resolves to
+    the latest writer below the reader, which snapshot semantics accepts
+    as "snapshot = that writer's position"), plus the *witness rule*: a
+    non-zero read version must be an actual writer position of that key.
+    A claimed version no writer occupies means the engine invented a
+    dependency — undetectable under snapshot semantics, where versions
+    between writers are legal.
+    """
     n = len(entries)
     report = ScheduleReport(ok=True, n_txs=n)
 
@@ -193,6 +213,21 @@ def _check_entries(entries: Sequence[_Entry]) -> ScheduleReport:
                         f"read of {_key_str(key)} claims snapshot v{snapshot} "
                         f"at commit position {j}",
                         witness,
+                    )
+                )
+                continue
+
+            # witness rule (multiversion only): a non-zero read version
+            # must name a position that actually wrote this key
+            if semantics == "multiversion" and snapshot > 0 and snapshot not in key_writers:
+                report.violations.append(
+                    ScheduleViolation(
+                        "unwitnessed_read",
+                        j,
+                        key,
+                        f"tx{j} claims to have read {_key_str(key)} from "
+                        f"v{snapshot}, but no committed transaction at that "
+                        "position wrote the key",
                     )
                 )
                 continue
@@ -295,7 +330,12 @@ def _find_cycle(n: int, edges: Iterable[ConflictEdge]) -> Optional[Tuple[Conflic
 # --------------------------------------------------------------------- #
 
 
-def verify_schedule(block, profile=None) -> ScheduleReport:
+def _semantics_for(strategy: str) -> str:
+    """Read-version semantics a strategy's recorded schedules use."""
+    return "multiversion" if strategy == "block-stm" else "snapshot"
+
+
+def verify_schedule(block, profile=None, *, strategy: str = "") -> ScheduleReport:
     """Prove a sealed block's commit order conflict-serializable.
 
     ``block`` is a :class:`~repro.chain.block.Block`; ``profile`` defaults
@@ -304,11 +344,17 @@ def verify_schedule(block, profile=None) -> ScheduleReport:
     snapshot the proposer actually executed against — so a reordered or
     hand-forged block whose claimed snapshots cannot be embedded in the
     shipped order is rejected with a cycle witness.
+
+    ``strategy`` names the proposer engine that built the block; passing
+    ``"block-stm"`` switches the read versions to per-key multiversion
+    semantics (every non-zero read version must be witnessed by an actual
+    writer at that position).  Blocks do not carry their strategy, so
+    callers that know it (the fuzzer, the check CLI) thread it through.
     """
     if profile is None:
         profile = block.profile
     if profile is None:
-        report = ScheduleReport(ok=False, n_txs=len(block.transactions))
+        report = ScheduleReport(ok=False, n_txs=len(block.transactions), strategy=strategy)
         report.violations.append(
             ScheduleViolation(
                 "missing_profile", 0, None, "block carries no profile to verify"
@@ -319,7 +365,9 @@ def verify_schedule(block, profile=None) -> ScheduleReport:
         (tuple(entry.rw.reads), tuple(entry.rw.write_keys()))
         for entry in profile.entries
     ]
-    return _check_entries(entries)
+    report = _check_entries(entries, semantics=_semantics_for(strategy))
+    report.strategy = strategy
+    return report
 
 
 def verify_commit_order(result) -> ScheduleReport:
@@ -333,12 +381,14 @@ def verify_commit_order(result) -> ScheduleReport:
     applied) — exactly the class of bug the conformance suite exists to
     catch.
     """
+    strategy = getattr(result, "strategy", "")
     committed = result.committed
     entries: List[_Entry] = []
     for c in committed:
         reads = tuple((key, version) for key, version in c.rw.reads.items())
         entries.append((reads, tuple(c.rw.writes)))
-    report = _check_entries(entries)
+    report = _check_entries(entries, semantics=_semantics_for(strategy))
+    report.strategy = strategy
 
     # store cross-check: recorded rw writes <=> store version index
     expected: Dict[StateKey, List[int]] = {}

@@ -19,11 +19,19 @@ This package implements the paper's contribution proper:
   same-height blocks overlap fully, child validation waits for parent.
 * :mod:`repro.core.baselines` -- serial (geth-like) execution and the
   two-phase speculative OCC comparator [Saraph & Herlihy].
+* :mod:`repro.core.blockstm` -- the Block-STM proposer strategy:
+  multi-version memory with ESTIMATE markers, suspend-on-read dependency
+  discovery, and cooperative re-validation [Gelashvili et al.].
+* :mod:`repro.core.strategies` -- the proposer strategy registry
+  (``occ-wsi`` | ``two-phase`` | ``block-stm``) and the round-based
+  two-phase proposer engine.
 """
 
 from repro.core.depgraph import DependencyGraph, build_dependency_graph
 from repro.core.scheduler import SchedulePlan, schedule_components, SCHEDULER_POLICIES
 from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig, ProposalResult
+from repro.core.blockstm import BlockSTMProposer
+from repro.core.strategies import STRATEGY_CHOICES, TwoPhaseProposer, build_proposer
 from repro.core.proposer import seal_block, finalize_fees, SealedProposal
 from repro.core.applier import Applier, ProfileMismatch, ValidationOutcome
 from repro.core.validator import ParallelValidator, ValidatorConfig, ValidationResult
@@ -42,6 +50,10 @@ __all__ = [
     "schedule_components",
     "SCHEDULER_POLICIES",
     "OCCWSIProposer",
+    "BlockSTMProposer",
+    "TwoPhaseProposer",
+    "build_proposer",
+    "STRATEGY_CHOICES",
     "ProposerConfig",
     "ProposalResult",
     "seal_block",

@@ -39,7 +39,14 @@ from repro.state.versioned import MultiVersionStore, OCCStateView
 from repro.txpool.pool import TxPool
 from repro.txpool.transaction import Transaction
 
-__all__ = ["ProposerConfig", "CommittedTx", "ProposalResult", "OCCWSIProposer", "materialize_store"]
+__all__ = [
+    "ProposerConfig",
+    "CommittedTx",
+    "ProposalResult",
+    "OCCWSIProposer",
+    "materialize_store",
+    "run_strict_checks",
+]
 
 #: Fixed buckets for the txpool-depth-over-time histogram (clamped tails).
 _DEPTH_EDGES = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1 << 30)
@@ -49,11 +56,17 @@ _RETRY_EDGES = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32, 1 << 20)
 
 @dataclass(frozen=True)
 class ProposerConfig:
-    """Proposer knobs: worker thread count and block capacity."""
+    """Proposer knobs: strategy, worker thread count and block capacity."""
 
     lanes: int = 16
     gas_limit: int = 30_000_000
     max_txs: Optional[int] = None
+    #: Intra-block execution strategy (``repro.core.strategies``):
+    #: ``"occ-wsi"`` (Algorithm 1, this module), ``"two-phase"`` (Saraph &
+    #: Herlihy speculative rounds) or ``"block-stm"`` (multi-version
+    #: suspend-on-ESTIMATE, :mod:`repro.core.blockstm`).  Consumed by
+    #: :func:`repro.core.strategies.build_proposer`; this class ignores it.
+    strategy: str = "occ-wsi"
     #: Safety valve: abandon a transaction after this many aborts (a real
     #: proposer would rather ship the block than spin; never hit in
     #: practice because the pool drains).
@@ -81,7 +94,7 @@ class CommittedTx:
 
 @dataclass
 class ProposalResult:
-    """Outcome of one OCC-WSI proposing run."""
+    """Outcome of one proposing run (any strategy)."""
 
     committed: List[CommittedTx]
     stats: RunStats
@@ -90,6 +103,9 @@ class ProposalResult:
     total_fees: int
     invalid_dropped: int
     retries_exhausted: int = 0
+    #: Which proposer strategy produced this result — carried into the
+    #: conformance oracles so violation reports name their producer.
+    strategy: str = "occ-wsi"
 
     @property
     def gas_used(self) -> int:
@@ -120,6 +136,35 @@ def materialize_store(base: StateSnapshot, store: MultiVersionStore) -> StateSna
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown key kind {key.kind}")
     return db.commit()
+
+
+def run_strict_checks(
+    result: "ProposalResult",
+    *,
+    enabled: bool,
+    metrics: Optional[MetricsRegistry],
+) -> "ProposalResult":
+    """Post-propose serializability gate shared by every proposer strategy.
+
+    Runs :func:`repro.check.oracle.verify_commit_order` over the fresh
+    result (which picks the version semantics matching
+    ``result.strategy``) and raises
+    :class:`~repro.check.oracle.ScheduleViolationError` on any violation.
+    """
+    if not enabled:
+        return result
+    # local import: repro.check re-executes through the core pipeline,
+    # so a module-level import would be circular
+    from repro.check.oracle import ScheduleViolationError, verify_commit_order
+
+    report = verify_commit_order(result)
+    if metrics is not None:
+        metrics.counter("check.schedules_verified").inc()
+        if not report.ok:
+            metrics.counter("check.schedule_violations").inc(len(report.violations))
+    if not report.ok:
+        raise ScheduleViolationError(report)
+    return result
 
 
 class OCCWSIProposer:
@@ -157,22 +202,9 @@ class OCCWSIProposer:
 
     def _checked(self, result: "ProposalResult") -> "ProposalResult":
         """Post-propose oracle gate (``ProposerConfig.strict_checks``)."""
-        if not self.config.strict_checks:
-            return result
-        # local import: repro.check re-executes through the core pipeline,
-        # so a module-level import would be circular
-        from repro.check.oracle import ScheduleViolationError, verify_commit_order
-
-        report = verify_commit_order(result)
-        if self.metrics is not None:
-            self.metrics.counter("check.schedules_verified").inc()
-            if not report.ok:
-                self.metrics.counter("check.schedule_violations").inc(
-                    len(report.violations)
-                )
-        if not report.ok:
-            raise ScheduleViolationError(report)
-        return result
+        return run_strict_checks(
+            result, enabled=self.config.strict_checks, metrics=self.metrics
+        )
 
     def propose(
         self,

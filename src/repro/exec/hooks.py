@@ -55,6 +55,28 @@ class ScheduleProbe:
         """Order in which one lane executes its ``n`` assigned components."""
         return range(n)
 
+    # -- Block-STM collaborative scheduler (repro.core.blockstm) -------- #
+
+    def blockstm_wave_width(self, wave_index: int, max_width: int) -> int:
+        """How many runnable transactions a Block-STM wave may execute.
+
+        A narrower wave models workers that were still busy (or had not
+        yet been spawned) when the scheduler handed out this round of
+        execution tasks.
+        """
+        return max_width
+
+    def blockstm_exec_order(self, wave_index: int, n: int) -> Sequence[int]:
+        """Order in which a wave considers its ``n`` runnable candidates.
+
+        Block-STM workers grab (re-)execution tasks from a shared counter;
+        any permutation of the runnable set corresponds to workers racing
+        that counter in a different order.  Results are still applied and
+        validated in preset serialization order, so every permutation must
+        converge to the identical block (the conformance suite's claim).
+        """
+        return range(n)
+
 
 #: Alias kept separate so call sites read as intent, not mechanism.
 IdentityProbe = ScheduleProbe

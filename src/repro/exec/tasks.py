@@ -35,7 +35,15 @@ from repro.evm.interpreter import (
     InvalidTransaction,
     TxResult,
 )
-from repro.state.access import ReadWriteSet, RecordingState, StateKey
+from repro.state.access import (
+    ReadWriteSet,
+    RecordingState,
+    StateKey,
+    balance_key,
+    code_key,
+    nonce_key,
+    storage_key,
+)
 from repro.state.account import AccountData
 from repro.state.statedb import StateDB, StateSnapshot
 from repro.state.versioned import OCCStateView, read_base_value
@@ -52,6 +60,12 @@ __all__ = [
     "ProposeTask",
     "ProposeTaskResult",
     "run_propose_task",
+    "EstimateRead",
+    "MVEntry",
+    "BlockSTMView",
+    "BlockSTMTask",
+    "BlockSTMTaskResult",
+    "run_blockstm_task",
     "ValidateShared",
     "ComponentTask",
     "ComponentOutcome",
@@ -298,6 +312,258 @@ def run_propose_task(shared: ProposeShared, task: ProposeTask) -> ProposeTaskRes
         return ProposeTaskResult(str(exc), None, None, {}, elapsed_us)
     elapsed_us = (time.perf_counter() - start) * 1e6
     return ProposeTaskResult(None, result, rec.rw, view.buffered_writes, elapsed_us)
+
+
+# --------------------------------------------------------------------- #
+# Block-STM tasks (multi-version speculative execution)                 #
+# --------------------------------------------------------------------- #
+
+
+class EstimateRead(Exception):
+    """A Block-STM read hit an ESTIMATE marker: suspend on that writer.
+
+    Deliberately **not** a ``ValueError``/``MemoryError`` subclass (the EVM
+    frame loop swallows those as in-frame failures): hitting an estimate
+    means this incarnation cannot produce a meaningful result until the
+    dependency re-executes, so the whole attempt unwinds to the scheduler.
+    """
+
+    def __init__(self, dep: int) -> None:
+        super().__init__(f"read of an ESTIMATE written by txn {dep}")
+        #: chunk-local index of the aborted writer this reader depends on
+        self.dep = dep
+
+
+#: One multi-version memory entry for a key, as shipped to workers:
+#: ``(writer_index, incarnation, value, is_estimate)``.  Entries per key
+#: are sorted by ascending writer index (the preset serialization order).
+MVEntry = Tuple[int, int, Any, bool]
+
+
+class BlockSTMView:
+    """StateDB-compatible multi-version read view for one Block-STM task.
+
+    Reads resolve in Block-STM order: the task's own write buffer
+    (read-your-own-write), then the highest-indexed multi-version entry
+    below the task's preset position (raising :class:`EstimateRead` when
+    that entry is an ESTIMATE left by an aborted incarnation), then the
+    committed-prefix overlay, then the base snapshot.  Every external read
+    records its source ``(writer_index, incarnation)`` — the read set the
+    parent's cooperative re-validation checks against current memory.
+
+    Write/record semantics deliberately mirror
+    :class:`~repro.state.access.RecordingState` over
+    :class:`~repro.state.versioned.OCCStateView` (first-read-wins, reads
+    of self-written keys unrecorded even after a revert, rw-set writes
+    retained across reverts, code values hashed to ints) so Block-STM
+    profiles diff cleanly against the serial replay's recorded sets.
+    """
+
+    def __init__(
+        self,
+        base: StateSnapshot,
+        overlay: Dict[StateKey, Any],
+        mv: Dict[StateKey, Tuple[MVEntry, ...]],
+        index: int,
+    ) -> None:
+        self._base = base
+        self._overlay = overlay
+        self._mv = mv
+        self._index = index
+        self._buffer: Dict[StateKey, Any] = {}
+        self._journal: List[Tuple[StateKey, Any, bool]] = []
+        #: key -> (writer_index, incarnation) of the first external read
+        self.reads: Dict[StateKey, Tuple[int, int]] = {}
+        #: rw-set writes (encoded like RecordingState; never rolled back)
+        self.rw_writes: Dict[StateKey, int] = {}
+
+    # -- read/write plumbing -------------------------------------------- #
+
+    def _read(self, key: StateKey, record: bool = True) -> Any:
+        if key in self._buffer:
+            return self._buffer[key]
+        entries = self._mv.get(key)
+        if entries:
+            source: Optional[MVEntry] = None
+            for entry in entries:
+                if entry[0] < self._index:
+                    source = entry
+                else:
+                    break
+            if source is not None:
+                writer, incarnation, value, is_estimate = source
+                if is_estimate:
+                    raise EstimateRead(writer)
+                if record:
+                    self._note_read(key, writer, incarnation)
+                return value
+        if record:
+            self._note_read(key, -1, 0)
+        if key in self._overlay:
+            return self._overlay[key]
+        return read_base_value(self._base, key)
+
+    def _note_read(self, key: StateKey, writer: int, incarnation: int) -> None:
+        if key not in self.rw_writes and key not in self.reads:
+            self.reads[key] = (writer, incarnation)
+
+    def _write(self, key: StateKey, value: Any, encoded: int) -> None:
+        self.rw_writes[key] = encoded
+        had = key in self._buffer
+        old = self._buffer.get(key)
+        self._journal.append((key, old, had))
+        self._buffer[key] = value
+
+    def reads_tuple(self) -> Tuple[Tuple[StateKey, int, int], ...]:
+        """Recorded reads as ``(key, writer_index, incarnation)`` triples."""
+        return tuple(
+            (key, src[0], src[1]) for key, src in self.reads.items()
+        )
+
+    # -- StateDB interface ---------------------------------------------- #
+
+    def account_exists(self, address: Address) -> bool:
+        # mirror RecordingState.account_exists: only the nonce read is
+        # recorded as the external dependency
+        return (
+            self._read(nonce_key(address)) != 0
+            or self._read(balance_key(address), record=False) != 0
+            or self._read(code_key(address), record=False) != b""
+        )
+
+    def get_balance(self, address: Address) -> int:
+        return int(self._read(balance_key(address)))
+
+    def get_nonce(self, address: Address) -> int:
+        return int(self._read(nonce_key(address)))
+
+    def get_code(self, address: Address) -> bytes:
+        value = self._read(code_key(address))
+        return bytes(value)
+
+    def get_storage(self, address: Address, slot: int) -> int:
+        return int(self._read(storage_key(address, slot)))
+
+    def set_balance(self, address: Address, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative balance for {address.hex()}")
+        self._write(balance_key(address), value, value)
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) + amount)
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) - amount)
+
+    def set_nonce(self, address: Address, value: int) -> None:
+        self._write(nonce_key(address), value, value)
+
+    def increment_nonce(self, address: Address) -> None:
+        self.set_nonce(address, self.get_nonce(address) + 1)
+
+    def set_code(self, address: Address, code: bytes) -> None:
+        encoded = int.from_bytes(code[:8].ljust(8, b"\0"), "big")
+        self._write(code_key(address), code, encoded)
+
+    def set_storage(self, address: Address, slot: int, value: int) -> None:
+        self._write(storage_key(address, slot), value, value)
+
+    def create_account(self, address: Address) -> None:
+        # existence is implied by the first write, as in OCCStateView
+        return None
+
+    def snapshot(self) -> int:
+        return len(self._journal)
+
+    def revert_to(self, mark: int) -> None:
+        if mark < 0 or mark > len(self._journal):
+            raise ValueError(f"invalid journal mark {mark}")
+        while len(self._journal) > mark:
+            key, old, had = self._journal.pop()
+            if had:
+                self._buffer[key] = old
+            else:
+                self._buffer.pop(key, None)
+
+    @property
+    def buffered_writes(self) -> Dict[StateKey, Any]:
+        return dict(self._buffer)
+
+
+class BlockSTMTask(NamedTuple):
+    """One (re-)execution of a chunk transaction at a given incarnation."""
+
+    tx: Transaction
+    #: chunk-local preset-order index of the transaction
+    index: int
+    incarnation: int
+    #: multi-version memory snapshot at wave start (shared per wave; the
+    #: in-memory backends pass it by reference, the process backend once
+    #: per task by value)
+    mv: Dict[StateKey, Tuple[MVEntry, ...]]
+    #: committed values from earlier chunks of this block
+    overlay: Dict[StateKey, Any]
+
+
+class BlockSTMTaskResult(NamedTuple):
+    """Everything the parent scheduler needs from one incarnation."""
+
+    index: int
+    incarnation: int
+    #: InvalidTransaction detail (the execution outcome "invalid at this
+    #: position"; its reads still participate in re-validation)
+    invalid: Optional[str]
+    #: set when the execution suspended on an ESTIMATE: the chunk-local
+    #: index of the aborted writer to wait for
+    dep: Optional[int]
+    result: Optional[TxResult]
+    #: external reads as ``(key, writer_index, incarnation)``; -1 marks a
+    #: committed-prefix/base read
+    reads: Tuple[Tuple[StateKey, int, int], ...]
+    #: journal-correct buffered writes (actual values, applied at commit)
+    writes: Dict[StateKey, Any]
+    #: rw-set writes (RecordingState encoding, kept across reverts)
+    rw_writes: Dict[StateKey, int]
+    elapsed_us: float
+
+
+def run_blockstm_task(shared: ProposeShared, task: BlockSTMTask) -> BlockSTMTaskResult:
+    """Execute one incarnation against the wave's multi-version snapshot."""
+    evm = _evm_for(shared.evm_config)
+    view = BlockSTMView(shared.base, task.overlay, task.mv, task.index)
+    start = time.perf_counter()
+    try:
+        result = evm.apply_transaction(view, task.tx, shared.ctx)
+    except EstimateRead as exc:
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        return BlockSTMTaskResult(
+            task.index, task.incarnation, None, exc.dep, None, (), {}, {}, elapsed_us
+        )
+    except InvalidTransaction as exc:
+        elapsed_us = (time.perf_counter() - start) * 1e6
+        return BlockSTMTaskResult(
+            task.index,
+            task.incarnation,
+            str(exc),
+            None,
+            None,
+            view.reads_tuple(),
+            {},
+            {},
+            elapsed_us,
+        )
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    return BlockSTMTaskResult(
+        task.index,
+        task.incarnation,
+        None,
+        None,
+        result,
+        view.reads_tuple(),
+        view.buffered_writes,
+        dict(view.rw_writes),
+        elapsed_us,
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -9,7 +9,8 @@ from repro.chain.block import Block, BlockHeader
 from repro.chain.blockchain import Blockchain
 from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
 from repro.common.types import Address
-from repro.core.occ_wsi import OCCWSIProposer, ProposerConfig
+from repro.core.occ_wsi import ProposerConfig
+from repro.core.strategies import build_proposer
 from repro.core.pipeline import PipelineConfig, PipelineResult, ValidatorPipeline
 from repro.core.proposer import SealedProposal, seal_block
 from repro.evm.interpreter import EVM, ExecutionContext
@@ -26,7 +27,8 @@ __all__ = ["ProposerNode", "ValidatorNode"]
 
 
 class ProposerNode:
-    """A block-building node running OCC-WSI (paper §4.2)."""
+    """A block-building node; the execution engine is picked by
+    ``ProposerConfig.strategy`` (OCC-WSI by default, paper §4.2)."""
 
     def __init__(
         self,
@@ -50,9 +52,9 @@ class ProposerNode:
         # (execute/abort/commit per lane) live under that pid
         self.tracer = tracer.for_process(node_id) if tracer is not None else NULL_TRACER
         self.metrics = metrics
-        self.engine = OCCWSIProposer(
+        self.engine = build_proposer(
+            config,
             evm=evm,
-            config=config,
             cost_model=cost_model,
             tracer=self.tracer,
             metrics=metrics,

@@ -75,6 +75,10 @@ class CostModel:
     commit_sync_per_lane: float = 0.14
     #: Cleanup cost charged to a lane when its transaction aborts.
     abort_overhead: float = 0.6
+    #: Block-STM cooperative re-validation: comparing one recorded read
+    #: version against the multi-version memory.  Validation never
+    #: re-executes, which is why this is ~25x cheaper than an SLOAD.
+    validate_per_read: float = 0.08
     #: Base backoff before re-attempting a block after a transient
     #: :class:`~repro.faults.errors.WorkerFault` (doubles per retry, so a
     #: block that retries k times is delayed Σ backoff·2^i — deterministic,

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all test-fast test-faults test-store test-blockstm serve-demo telemetry-smoke check check-fuzz check-fuzz-blockstm lint typecheck coverage bench bench-json bench-hotpath bench-strategies bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults test-store test-blockstm test-distributed serve-demo telemetry-smoke check check-fuzz check-fuzz-blockstm lint typecheck coverage bench bench-json bench-hotpath bench-strategies bench-distributed bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -29,6 +29,11 @@ test-store:
 # and the three-way ablation bench (everything tagged @pytest.mark.blockstm)
 test-blockstm:
 	$(PYTHON) -m pytest tests benchmarks -m blockstm -q
+
+# distributed sharded validation: partition properties, bit-identity,
+# follower fault matrix, and the scaling bench (@pytest.mark.distributed)
+test-distributed:
+	$(PYTHON) -m pytest tests benchmarks -m distributed -q
 
 # run a persistent node for 20 blocks against ./serve-demo-data, then resume
 # it (second run recovers from disk and produces nothing new)
@@ -95,6 +100,9 @@ bench-hotpath:
 bench-strategies:
 	$(PYTHON) benchmarks/bench_ablation_strategies.py --quick
 
+bench-distributed:
+	$(PYTHON) benchmarks/bench_distributed.py --quick
+
 # regression gate: emit fresh sim-deterministic baselines into a scratch dir
 # (REPRO_BENCH_BLOCKS=4 matches how the committed goldens were generated)
 # and diff them against the committed goldens in benchmarks/results/
@@ -123,6 +131,7 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results/.fresh \
 		benchmarks/results/.fresh-strategies \
+		benchmarks/results/.fresh-distributed \
 		.coverage coverage.xml .mypy_cache .ruff_cache serve-demo-data
 	find benchmarks/results -type f ! -name 'BENCH_*.json' -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

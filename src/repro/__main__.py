@@ -159,7 +159,76 @@ def cmd_validator(args) -> int:
         ]
         rows.append({"lanes": lanes, "mean_speedup": round(mean(speedups), 2)})
     print(format_table(rows, title="validator scalability (Fig. 7a shape)"))
+
+    if args.followers > 0:
+        from repro.distributed import DistributedValidator
+
+        dist_rows = []
+        for n in range(1, args.followers + 1):
+            dv = DistributedValidator(n)
+            makespans, shards = [], []
+            for block, state in blocks:
+                res = dv.validate(block, state)
+                rec = dv.last_record
+                if not res.accepted or not res.used_distributed or rec is None:
+                    print(f"distributed validation declined: {res.reason}")
+                    return 1
+                makespans.append(rec.makespan_us)
+                shards.append(rec.n_shards)
+            dist_rows.append(
+                {
+                    "followers": n,
+                    "mean_makespan_us": round(mean(makespans), 1),
+                    "mean_shards": round(mean(shards), 1),
+                }
+            )
+        print(
+            format_table(
+                dist_rows, title="distributed validation (follower sweep)"
+            )
+        )
     return 0
+
+
+def cmd_simulate(args) -> int:
+    """Multi-round consensus simulation, optionally with follower pools."""
+    from repro.network.simnet import NetworkConfig, NetworkSimulation
+    from repro.obs import MetricsRegistry
+
+    universe = build_universe()
+    metrics = MetricsRegistry()
+    sim = NetworkSimulation(
+        universe,
+        config=NetworkConfig(
+            rounds=args.rounds,
+            n_proposers=args.proposers,
+            n_validators=args.validators,
+            seed=args.seed,
+            followers=args.followers,
+        ),
+        metrics=metrics,
+    )
+    result = sim.run()
+    print(
+        format_table(
+            [
+                {
+                    "rounds": len(result.rounds),
+                    "height": result.final_height,
+                    "canonical_txs": result.total_txs,
+                    "accepted": sum(r.accepted for r in result.rounds),
+                    "chains_agree": result.chains_agree,
+                    "followers": args.followers,
+                }
+            ],
+            title="network simulation",
+        )
+    )
+    if args.followers > 0:
+        counters = metrics.snapshot()["counters"]
+        dist = {k: v for k, v in counters.items() if k.startswith("dist.")}
+        print(format_table([dist or {"dist.blocks": 0}], title="distributed counters"))
+    return 0 if result.chains_agree else 1
 
 
 def cmd_pipeline(args) -> int:
@@ -499,6 +568,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lanes", type=int, nargs="+", default=[2, 4, 8, 16])
     p = sub.add_parser("validator", help="Fig. 7(a)-style thread sweep")
     p.add_argument("--lanes", type=int, nargs="+", default=[2, 4, 8, 16])
+    p.add_argument(
+        "--followers",
+        type=int,
+        default=0,
+        help="also sweep distributed validation over 1..N follower nodes",
+    )
+    p = sub.add_parser(
+        "simulate", help="multi-round consensus simulation (repro.network)"
+    )
+    p.add_argument("--rounds", type=int, default=4)
+    p.add_argument("--proposers", type=int, default=2)
+    p.add_argument("--validators", type=int, default=2)
+    p.add_argument(
+        "--followers",
+        type=int,
+        default=0,
+        help="shard validation across N follower nodes per validator",
+    )
     p = sub.add_parser("pipeline", help="Fig. 9-style block-count sweep")
     p.add_argument("--blocks", type=int, nargs="+", default=[1, 2, 4, 8])
     sub.add_parser("hotspot", help="Fig. 8-style intensity sweep")
@@ -652,6 +739,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "proposer": cmd_proposer,
     "validator": cmd_validator,
+    "simulate": cmd_simulate,
     "pipeline": cmd_pipeline,
     "hotspot": cmd_hotspot,
     "trace": cmd_trace,

@@ -30,7 +30,12 @@ from repro.chain.block import Block, BlockProfile
 from repro.core.depgraph import DependencyGraph, build_dependency_graph
 from repro.core.scheduler import SchedulePlan, schedule_components
 
-__all__ = ["BlockArtifacts", "ArtifactCache", "profile_footprints"]
+__all__ = [
+    "BlockArtifacts",
+    "ArtifactCache",
+    "profile_footprints",
+    "artifacts_for",
+]
 
 #: An account-level footprint is a frozenset of addresses; key-level, of
 #: StateKeys.  Downstream consumers only ever union/intersect them.
@@ -58,7 +63,14 @@ def profile_footprints(
 class BlockArtifacts:
     """Everything derivable from one block profile at one granularity."""
 
-    __slots__ = ("footprints", "gas_estimates", "graph", "_plans", "_comp_fps")
+    __slots__ = (
+        "footprints",
+        "gas_estimates",
+        "graph",
+        "_plans",
+        "_comp_fps",
+        "_comp_gas",
+    )
 
     def __init__(self, profile: BlockProfile, granularity: str) -> None:
         self.footprints = profile_footprints(profile, granularity)
@@ -73,6 +85,7 @@ class BlockArtifacts:
         # code path (a metrics-less consumer never swallows an observing one).
         self._plans: Dict[Tuple[int, str, int, bool], SchedulePlan] = {}
         self._comp_fps: Optional[Tuple[Footprint, ...]] = None
+        self._comp_gas: Optional[Tuple[int, ...]] = None
 
     def plan_for(
         self, lanes: int, policy: str, seed: int, metrics: Any = None
@@ -103,6 +116,43 @@ class BlockArtifacts:
             )
             self._comp_fps = fps
         return fps
+
+    def component_gas(self) -> Tuple[int, ...]:
+        """Profile-gas total per dependency-graph component (memoized).
+
+        This is the weight the distributed coordinator's LPT bin-packing
+        balances across followers — components whose members burned more
+        gas take proportionally longer to re-execute.
+        """
+        gas = self._comp_gas
+        if gas is None:
+            estimates = self.gas_estimates
+            gas = tuple(
+                sum(estimates[i] for i in component)
+                for component in self.graph.components
+            )
+            self._comp_gas = gas
+        return gas
+
+
+def artifacts_for(
+    block: Block,
+    granularity: str,
+    cache: Optional["ArtifactCache"] = None,
+) -> Optional[BlockArtifacts]:
+    """Component-extraction entry point: artifacts for one block.
+
+    Consults ``cache`` when given (sharing derivations with the pipeline's
+    other phases), otherwise derives standalone.  Returns ``None`` exactly
+    when the cache would: profile-less blocks and profiles whose entry
+    count mismatches the transaction list.
+    """
+    if cache is not None:
+        return cache.get(block, granularity)
+    profile = block.profile
+    if profile is None or len(profile.entries) != len(block.transactions):
+        return None
+    return BlockArtifacts(profile, granularity)
 
 
 class ArtifactCache:

@@ -128,6 +128,7 @@ class ValidatorPipeline:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
+        distributor=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or PipelineConfig()
@@ -157,6 +158,7 @@ class ValidatorPipeline:
             metrics=metrics,
             backend=backend,
             artifacts=self.artifacts,
+            distributor=distributor,
         )
 
     def close(self) -> None:

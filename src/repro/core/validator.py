@@ -134,6 +134,9 @@ class ValidationResult:
     exec_attempts: int = 1
     #: Whether validation degraded to serial re-execution.
     used_serial_fallback: bool = False
+    #: Whether execution ran sharded across follower nodes
+    #: (:mod:`repro.distributed`) rather than on this node alone.
+    used_distributed: bool = False
 
     @property
     def makespan(self) -> float:
@@ -161,6 +164,7 @@ class ParallelValidator:
         artifacts: Optional[ArtifactCache] = None,
         check_log=None,
         probe=None,
+        distributor=None,
     ) -> None:
         self.evm = evm or EVM()
         self.config = config or ValidatorConfig()
@@ -193,6 +197,14 @@ class ParallelValidator:
         #: component driver's scheduling decisions (conformance fuzzing).
         #: ``None`` means every decision takes its production default.
         self.probe = probe
+        #: Optional distributed shard coordinator (:mod:`repro.distributed`):
+        #: when attached, execution is sharded across follower nodes first;
+        #: a declined/failed distribution falls back to the local paths
+        #: below (backend, then the serial reference loop).  Duck-typed —
+        #: anything with ``execute(validator, block, parent_state, ctx) ->
+        #: (outcome | None, failure | None)`` works; core never imports
+        #: repro.distributed.
+        self.distributor = distributor
 
     # ------------------------------------------------------------------ #
 
@@ -299,8 +311,22 @@ class ParallelValidator:
         worker_faults = 0
         retry_penalty = 0.0
         used_serial = False
+        used_distributed = False
         outcome = None
-        if self.backend is not None:
+        if self.distributor is not None:
+            outcome, dist_failure = self.distributor.execute(
+                self, block, parent_state, ctx
+            )
+            if outcome is not None:
+                used_distributed = True
+            elif dist_failure is not None and not self.config.serial_fallback:
+                # follower faults exhausted re-assignment and local
+                # re-execution is disabled: surface the typed failure
+                return rejected(
+                    f"distributed validation failed: {dist_failure.detail}",
+                    failure=dist_failure,
+                )
+        if outcome is None and self.backend is not None:
             from repro.exec.validating import execute_block_parallel
 
             outcome = execute_block_parallel(self, block, parent_state, ctx, self.backend)
@@ -604,6 +630,7 @@ class ParallelValidator:
             worker_faults=worker_faults,
             exec_attempts=attempt + 1,
             used_serial_fallback=used_serial,
+            used_distributed=used_distributed,
         )
 
     # ------------------------------------------------------------------ #

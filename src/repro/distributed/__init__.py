@@ -1,0 +1,36 @@
+"""Distributed sharded validation across follower nodes (DiPETrans-style).
+
+A master validator partitions each received block's dependency-graph
+components into gas-weighted shards (greedy LPT bin-packing,
+:mod:`repro.distributed.partition`), ships them to follower nodes over the
+shard RPC protocol (:mod:`repro.network.shardrpc`), verifies every reply
+against the block profile, and aggregates the per-shard outcomes into
+exactly what single-node validation would have produced — bit-identical
+state roots and receipts by construction, because components are
+account-disjoint.
+
+Stragglers past the deadline are re-assigned; follower crashes and
+byzantine replies map onto the typed
+:class:`~repro.faults.errors.FailureReason` taxonomy with serial
+re-execution as the last-resort fallback — follower faults cost
+throughput, never correctness.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedConfig,
+    DistributedRecord,
+    ShardAttempt,
+    ShardCoordinator,
+)
+from repro.distributed.partition import ShardPlan, partition_components
+from repro.distributed.validator import DistributedValidator
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedRecord",
+    "DistributedValidator",
+    "ShardAttempt",
+    "ShardCoordinator",
+    "ShardPlan",
+    "partition_components",
+]

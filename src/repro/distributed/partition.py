@@ -1,0 +1,65 @@
+"""Gas-weighted shard partitioning (greedy LPT bin-packing).
+
+The master partitions a block's dependency-graph components into at most
+``n_shards`` gas-balanced shards, one per follower node.  Greedy
+longest-processing-time: components in descending gas order, each into the
+currently lightest shard — the same heuristic the local scheduler uses for
+lanes (DiPETrans uses the identical shape for its follower shards).
+Deterministic throughout: ties break on the lower component index and the
+lower shard index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ShardPlan", "partition_components"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Component indices and gas load per shard (parallel tuples)."""
+
+    shards: Tuple[Tuple[int, ...], ...]
+    gas: Tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def balance(self) -> float:
+        """max/mean shard load — 1.0 is a perfect split."""
+        loads = [g for g in self.gas if g > 0] or [0]
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0
+
+
+def partition_components(
+    component_gas: Sequence[int], n_shards: int
+) -> ShardPlan:
+    """LPT-pack components into ``min(n_shards, n_components)`` shards.
+
+    Never produces an empty shard: with fewer components than requested
+    shards, each component gets its own.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_components = len(component_gas)
+    k = min(n_shards, n_components)
+    if k == 0:
+        return ShardPlan(shards=(), gas=())
+    bins: List[List[int]] = [[] for _ in range(k)]
+    loads: List[int] = [0] * k
+    order = sorted(
+        range(n_components), key=lambda c: (-component_gas[c], c)
+    )
+    for comp in order:
+        target = min(range(k), key=lambda s: (loads[s], s))
+        bins[target].append(comp)
+        loads[target] += component_gas[comp]
+    return ShardPlan(
+        shards=tuple(tuple(sorted(b)) for b in bins),
+        gas=tuple(loads),
+    )

@@ -1,0 +1,104 @@
+"""Shard work units for distributed validation (repro.distributed).
+
+A *shard* is a set of dependency-graph components shipped to one follower
+node.  Components are account-disjoint, so a follower can execute its
+shard against a state slice containing exactly the accounts its
+components' profile footprints name — the same isolation contract the
+process backend uses (:class:`~repro.exec.tasks.SliceSnapshot`), which is
+what makes shard payloads realistic network messages: everything is
+pickle-able and self-contained, nothing references the master's memory.
+
+Execution reuses the validator task bodies verbatim
+(:func:`~repro.exec.tasks.run_validate_lane`), so a shard outcome is
+bit-identical to what the single-node backend would have produced for the
+same components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.chain.block import Block
+from repro.common.types import Address
+from repro.evm.interpreter import ExecutionContext
+from repro.exec.tasks import (
+    ComponentOutcome,
+    ComponentTask,
+    ValidateShared,
+    build_state_slice,
+    run_validate_lane,
+)
+from repro.state.account import AccountData
+from repro.state.statedb import StateSnapshot
+from repro.txpool.transaction import Transaction
+
+__all__ = ["ShardWork", "build_shard_work", "execute_shard", "shard_gas"]
+
+
+class ShardWork(NamedTuple):
+    """One component's work unit inside a shard assignment.
+
+    Self-contained and pickle-able: the transactions, the account
+    footprint that bounds them, and the parent-state slice for exactly
+    those accounts.  A follower needs nothing else to execute it.
+    """
+
+    component: int
+    tx_indices: Tuple[int, ...]
+    txs: Tuple[Transaction, ...]
+    allowed: FrozenSet[Address]
+    slice_accounts: Dict[Address, Optional[AccountData]]
+    #: profile gas total of the component — the LPT bin-packing weight
+    gas: int
+
+
+def build_shard_work(
+    block: Block,
+    parent_state: StateSnapshot,
+    component: int,
+    tx_indices: Sequence[int],
+    footprint: FrozenSet[Address],
+    gas: int,
+) -> ShardWork:
+    """Package one dependency-graph component for shipping to a follower."""
+    txs = tuple(block.transactions[i] for i in tx_indices)
+    return ShardWork(
+        component=component,
+        tx_indices=tuple(tx_indices),
+        txs=txs,
+        allowed=footprint,
+        slice_accounts=build_state_slice(parent_state, footprint),
+        gas=gas,
+    )
+
+
+def shard_gas(works: Sequence[ShardWork]) -> int:
+    """Total gas weight of a shard (sum of its components' weights)."""
+    return sum(w.gas for w in works)
+
+
+def execute_shard(
+    shared: ValidateShared,
+    works: Sequence[ShardWork],
+    ctx: ExecutionContext,
+) -> Tuple[ComponentOutcome, ...]:
+    """Execute a shard's components exactly as a validator worker lane.
+
+    Each component runs against its shipped state slice (``base=None``:
+    the follower never sees the master's snapshot), so any access outside
+    the declared footprint surfaces as a ``footprint_miss`` anomaly in the
+    outcome — the lying-profile signal the coordinator needs to fall back.
+    """
+    lane: List[ComponentTask] = [
+        ComponentTask(
+            component=work.component,
+            tx_indices=work.tx_indices,
+            txs=work.txs,
+            ctx=ctx,
+            allowed=work.allowed,
+            base=None,
+            slice_accounts=work.slice_accounts,
+        )
+        for work in works
+    ]
+    return run_validate_lane(shared, tuple(lane))

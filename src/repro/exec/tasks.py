@@ -204,7 +204,11 @@ def apply_overlay(db: StateDB, overlay: Dict[Address, OverlayEntry]) -> None:
 # per-process EVM cache                                                 #
 # --------------------------------------------------------------------- #
 
-_EVM_CACHE: List[Any] = [None, None]  # [config identity, EVM instance]
+#: [config identity, EVM instance].  The sentinel is a private object, not
+#: None: ``None`` is a *valid* config (EVM defaults), and using it as the
+#: empty marker would make ``_evm_for(None)`` return the uninitialised slot.
+_EVM_UNSET = object()
+_EVM_CACHE: List[Any] = [_EVM_UNSET, None]
 
 
 def _evm_for(config: Optional[EVMConfig]) -> EVM:

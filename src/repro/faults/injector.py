@@ -36,6 +36,7 @@ from repro.state.access import FrozenRWSet, balance_key, storage_key
 __all__ = [
     "FaultConfig",
     "ExecutionFault",
+    "FollowerFault",
     "FaultInjector",
     "FaultyChannel",
     "CORRUPTION_KINDS",
@@ -75,6 +76,17 @@ class FaultConfig:
     reorder_rate: float = 0.0
     #: Upper bound on per-message delivery delay, in µs (0 = no delay).
     max_delay_us: float = 0.0
+    # --- follower faults (distributed shard validation) --------------- #
+    #: Probability a follower crashes on a given shard assignment (the
+    #: reply never arrives; the coordinator re-assigns after the deadline).
+    follower_crash_rate: float = 0.0
+    #: Probability a follower stalls (slow node) before replying.
+    follower_stall_rate: float = 0.0
+    #: Simulated duration of one follower stall, in µs — sized to blow the
+    #: coordinator's straggler deadline, not just pad the makespan.
+    follower_stall_us: float = 50_000.0
+    #: Probability a follower returns a tampered (byzantine) shard reply.
+    follower_byzantine_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -83,6 +95,15 @@ class ExecutionFault:
 
     crash: bool = False
     stall_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class FollowerFault:
+    """What the injector decided for one shard assignment to a follower."""
+
+    crash: bool = False
+    stall_us: float = 0.0
+    byzantine: bool = False
 
 
 #: Corruption kinds that tamper the block profile (lying proposer).
@@ -144,6 +165,46 @@ class FaultInjector:
             if roll.random() < cfg.stall_rate:
                 stall = cfg.stall_delay_us
         return ExecutionFault(crash=crash, stall_us=stall)
+
+    # --- follower faults ---------------------------------------------- #
+
+    @property
+    def injects_follower_faults(self) -> bool:
+        """Whether any follower-fault family is active."""
+        cfg = self.config
+        return (
+            cfg.follower_crash_rate > 0.0
+            or cfg.follower_stall_rate > 0.0
+            or cfg.follower_byzantine_rate > 0.0
+        )
+
+    def follower_fault(
+        self, block_hash: Hash32, shard_id: int, follower_id: str, attempt: int
+    ) -> FollowerFault:
+        """Decide crash/stall/byzantine for one shard assignment.
+
+        Keyed by (block, shard, follower, attempt): a crashing follower
+        crashes for that shard regardless of when it is asked, and a
+        re-assignment of the same shard to a *different* follower rolls
+        fresh faults — so re-assignment genuinely routes around a bad node
+        rather than replaying its fate.
+        """
+        cfg = self.config
+        key = (bytes(block_hash).hex(), shard_id, follower_id, attempt)
+        crash = False
+        if cfg.follower_crash_rate > 0.0:
+            roll = _keyed_rng(cfg.seed, "follower_crash", *key)
+            crash = roll.random() < cfg.follower_crash_rate
+        stall = 0.0
+        if cfg.follower_stall_rate > 0.0:
+            roll = _keyed_rng(cfg.seed, "follower_stall", *key)
+            if roll.random() < cfg.follower_stall_rate:
+                stall = cfg.follower_stall_us
+        byzantine = False
+        if cfg.follower_byzantine_rate > 0.0:
+            roll = _keyed_rng(cfg.seed, "follower_byz", *key)
+            byzantine = roll.random() < cfg.follower_byzantine_rate
+        return FollowerFault(crash=crash, stall_us=stall, byzantine=byzantine)
 
     # --- proposal corruption ------------------------------------------ #
 

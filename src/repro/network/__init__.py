@@ -10,11 +10,15 @@ same-height block sets that give validators more work than proposers
 
 from repro.network.node import ProposerNode, ValidatorNode
 from repro.network.dissemination import ForkSimulator
+from repro.network.shardrpc import FollowerNode, ShardAssignment, ShardReply
 from repro.network.simnet import NetworkConfig, NetworkResult, NetworkSimulation
 
 __all__ = [
     "ProposerNode",
     "ValidatorNode",
+    "FollowerNode",
+    "ShardAssignment",
+    "ShardReply",
     "ForkSimulator",
     "NetworkConfig",
     "NetworkResult",

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.chain.block import Block, BlockHeader
+from repro.common.types import Address
 from repro.core.occ_wsi import ProposerConfig
 from repro.core.proposer import SealedProposal
 from repro.evm.interpreter import EVM
@@ -33,7 +34,7 @@ class ForkSet:
     proposals: List[SealedProposal]
     #: the block actually broadcast per proposer — the sealed block, or a
     #: corrupted copy for byzantine proposers
-    published: List[Block] = None  # type: ignore[assignment]
+    published: Optional[List[Block]] = None
 
     def __post_init__(self) -> None:
         if self.published is None:
@@ -41,6 +42,7 @@ class ForkSet:
 
     @property
     def blocks(self) -> List[Block]:
+        assert self.published is not None  # normalised in __post_init__
         return self.published
 
 
@@ -123,7 +125,7 @@ class ForkSimulator:
         Dropping from the tail keeps every sender's nonce sequence gapless,
         so the subset is a valid mempool view.
         """
-        by_sender = {}
+        by_sender: Dict[Address, List[Transaction]] = {}
         for tx in sorted(txs, key=lambda t: t.nonce):
             by_sender.setdefault(tx.sender, []).append(tx)
         kept: List[Transaction] = []

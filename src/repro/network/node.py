@@ -3,12 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.chain.block import Block, BlockHeader
 from repro.chain.blockchain import Blockchain
 from repro.chain.params import DEFAULT_CHAIN_PARAMS, ChainParams
-from repro.common.types import Address
+from repro.common.types import Address, Hash32
 from repro.core.occ_wsi import ProposerConfig
 from repro.core.strategies import build_proposer
 from repro.core.pipeline import PipelineConfig, PipelineResult, ValidatorPipeline
@@ -23,7 +33,10 @@ from repro.state.statedb import StateSnapshot
 from repro.txpool.pool import TxPool
 from repro.txpool.transaction import Transaction
 
-__all__ = ["ProposerNode", "ValidatorNode"]
+if TYPE_CHECKING:
+    from repro.exec.backend import ExecutionBackend
+
+__all__ = ["ProposerNode", "ReceiveOutcome", "ValidatorNode"]
 
 
 class ProposerNode:
@@ -39,9 +52,9 @@ class ProposerNode:
         evm: Optional[EVM] = None,
         cost_model: Optional[CostModel] = None,
         params: ChainParams = DEFAULT_CHAIN_PARAMS,
-        tracer=None,
+        tracer: Any = None,
         metrics: Optional[MetricsRegistry] = None,
-        backend=None,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
         self.node_id = node_id
         self.params = params
@@ -69,7 +82,7 @@ class ProposerNode:
         *,
         timestamp: Optional[int] = None,
         include_profile: bool = True,
-        uncles=(),
+        uncles: Sequence[BlockHeader] = (),
     ) -> SealedProposal:
         """Select, execute in parallel, and seal the next block."""
         pool = TxPool()
@@ -142,9 +155,10 @@ class ValidatorNode:
         quarantine_threshold: int = 3,
         txpool: Optional[TxPool] = None,
         chain: Optional[Blockchain] = None,
-        tracer=None,
+        tracer: Any = None,
         metrics: Optional[MetricsRegistry] = None,
-        backend=None,
+        backend: Optional["ExecutionBackend"] = None,
+        distributor: Any = None,
     ) -> None:
         self.node_id = node_id
         # an injected chain lets long-running services hand the node a
@@ -160,6 +174,7 @@ class ValidatorNode:
             tracer=self.tracer,
             metrics=metrics,
             backend=backend,
+            distributor=distributor,
         )
         self.quarantine_threshold = quarantine_threshold
         self.txpool = txpool
@@ -214,7 +229,7 @@ class ValidatorNode:
             admitted.append(block)
             admitted_arrivals.append(arrival)
 
-        parent_states = {}
+        parent_states: Dict[Hash32, StateSnapshot] = {}
         for block in admitted:
             snapshot = self.chain.state_at(block.header.parent_hash)
             if snapshot is not None:
@@ -228,9 +243,13 @@ class ValidatorNode:
         accepted: List[Block] = []
         rejected: List[Block] = []
         new_head = False
-        additions = []
+        additions: List[Tuple[Block, StateSnapshot]] = []
         for block, validation in zip(admitted, result.results):
-            if validation is not None and validation.accepted:
+            if (
+                validation is not None
+                and validation.accepted
+                and validation.post_state is not None
+            ):
                 additions.append((block, validation.post_state))
                 accepted.append(block)
                 failure_by_hash.setdefault(bytes(block.hash), None)

@@ -16,19 +16,26 @@ replaces the perfect channel with a :class:`FaultyChannel` per validator
 retransmission of drops the following round), and
 ``byzantine_proposers`` makes chosen proposers publish corrupted blocks —
 the adversarial workload the hardened validator stack is built for.
+
+With ``followers > 0`` every validator becomes the master of its own
+follower pool (:mod:`repro.distributed`): received blocks are partitioned
+into gas-weighted shards and validated across follower nodes, with the
+single-node path as the serial fallback.  Results are bit-identical either
+way — the knob only changes who does the work.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import throughput_tps
+from repro.chain.block import Block
 from repro.core.occ_wsi import ProposerConfig
 from repro.core.pipeline import PipelineConfig
 from repro.faults.injector import FaultConfig, FaultInjector, FaultyChannel
-from repro.network.node import ProposerNode, ValidatorNode
+from repro.network.node import ProposerNode, ReceiveOutcome, ValidatorNode
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.workload.generator import BlockWorkloadGenerator, WorkloadConfig
@@ -47,12 +54,18 @@ class NetworkConfig:
     proposer_lanes: int = 16
     validator_lanes: int = 16
     seed: int = 101
-    #: indices into the proposer set whose sealed blocks get corrupted
-    byzantine_proposers: tuple = ()
+    #: indices into the proposer set whose sealed blocks get corrupted.
+    #: Out-of-range indices are a configuration error and raise
+    #: ``ValueError`` at construction (a typo'd adversary must not silently
+    #: run the honest scenario).
+    byzantine_proposers: Tuple[int, ...] = ()
     #: which corruption a byzantine proposer applies (see CORRUPTION_KINDS)
     corruption: str = "profile_write_value"
     #: byzantine strikes before a validator refuses a proposer outright
     quarantine_threshold: int = 3
+    #: follower nodes per validator for distributed sharded validation
+    #: (0 = single-node validation, the seed behaviour)
+    followers: int = 0
 
 
 @dataclass
@@ -81,11 +94,16 @@ class NetworkResult:
     channel_counters: Optional[Dict[str, int]] = None
     #: proposers validator 0 has quarantined by the end of the run
     quarantined: List[str] = field(default_factory=list)
+    #: transactions actually on the reference chain at the end of the run
+    #: (summed over ``canonical_chain()``, not per-round guesses — under
+    #: reordering/corruption the round's first block need not be the one
+    #: that committed)
+    canonical_txs: int = 0
 
     @property
     def total_txs(self) -> int:
         """Transactions on the canonical chain (one block per height)."""
-        return sum(r.block_txs[0] for r in self.rounds)
+        return self.canonical_txs
 
     @property
     def parallel_tps(self) -> float:
@@ -110,7 +128,7 @@ class NetworkSimulation:
         config: Optional[NetworkConfig] = None,
         workload: Optional[WorkloadConfig] = None,
         faults: Optional[FaultConfig] = None,
-        tracer=None,
+        tracer: Any = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.universe = universe
@@ -133,11 +151,17 @@ class NetworkSimulation:
             )
             for i in range(self.config.n_proposers)
         ]
+        for index in self.config.byzantine_proposers:
+            if not 0 <= index < len(self.proposers):
+                raise ValueError(
+                    f"byzantine_proposers index {index} out of range for "
+                    f"{len(self.proposers)} proposers"
+                )
         self.byzantine_ids = {
-            self.proposers[i].node_id
-            for i in self.config.byzantine_proposers
-            if 0 <= i < len(self.proposers)
+            self.proposers[i].node_id for i in self.config.byzantine_proposers
         }
+        if self.config.followers < 0:
+            raise ValueError(f"followers must be >= 0, got {self.config.followers}")
         self.validators = [
             ValidatorNode(
                 f"validator-{i}",
@@ -146,6 +170,7 @@ class NetworkSimulation:
                 quarantine_threshold=self.config.quarantine_threshold,
                 tracer=self.tracer,
                 metrics=metrics,
+                distributor=self._build_distributor(f"validator-{i}"),
             )
             for i in range(self.config.n_validators)
         ]
@@ -153,6 +178,22 @@ class NetworkSimulation:
             {v.node_id: FaultyChannel(faults, v.node_id) for v in self.validators}
             if faults is not None
             else None
+        )
+
+    def _build_distributor(self, master_id: str) -> Any:
+        """A per-validator follower pool, or ``None`` when followers == 0."""
+        if self.config.followers <= 0:
+            return None
+        from repro.distributed import DistributedConfig, ShardCoordinator
+
+        return ShardCoordinator(
+            DistributedConfig(
+                n_followers=self.config.followers, seed=self.config.seed
+            ),
+            master_id=master_id,
+            injector=self.injector if self.faults is not None else None,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------ #
@@ -242,11 +283,14 @@ class NetworkSimulation:
             failure_counts=failure_counts,
             channel_counters=channel_counters,
             quarantined=sorted(self.validators[0].quarantined_proposers),
+            canonical_txs=sum(len(b) for b in reference.canonical_chain()),
         )
 
     # ------------------------------------------------------------------ #
 
-    def _deliver(self, validator, round_no: int, blocks):
+    def _deliver(
+        self, validator: ValidatorNode, round_no: int, blocks: Sequence[Block]
+    ) -> ReceiveOutcome:
         """Hand a round's blocks to one validator, through its channel."""
         trace_on = self.tracer.enabled
         if self.channels is None:
@@ -286,13 +330,20 @@ class NetworkSimulation:
             arrivals=[arrival for _, arrival in deliveries],
         )
 
-    def _drain_channels(self, failure_counts) -> Optional[Dict[str, int]]:
+    def _drain_channels(
+        self, failure_counts: Dict[str, int]
+    ) -> Optional[Dict[str, int]]:
         """Deliver every backlogged retransmission, then sum channel stats."""
         if self.channels is None:
             return None
         for validator in self.validators:
             leftovers = self.channels[validator.node_id].flush()
             if leftovers:
+                # flushed retransmissions are deliveries like any other —
+                # without this the sent/delivered metrics can never
+                # reconcile even though every drop is retransmitted
+                if self.metrics is not None:
+                    self.metrics.counter("net.blocks_delivered").inc(len(leftovers))
                 outcome = validator.receive_blocks(
                     [block for block, _ in leftovers],
                     arrivals=[arrival for _, arrival in leftovers],
@@ -306,7 +357,7 @@ class NetworkSimulation:
         return totals
 
     @staticmethod
-    def _count_failures(counts: Dict[str, int], outcome) -> None:
+    def _count_failures(counts: Dict[str, int], outcome: ReceiveOutcome) -> None:
         for failure in outcome.failures:
             if failure is not None:
                 key = failure.reason.value

@@ -106,6 +106,20 @@ class CostModel:
     #: ... send out relevant information", §5.6).  This communication term
     #: grows with pipeline occupancy and produces Fig. 9's 4->8 dip.
     result_ship_per_tx: float = 3.2
+    # --- distributed shard validation (repro.distributed) ------------- #
+    #: Flat cost of shipping one shard assignment to a follower node
+    #: (connection + serialization setup; DiPETrans' master->follower leg).
+    shard_ship_us: float = 180.0
+    #: Per-transaction marginal shipping cost of a shard assignment (the
+    #: state slice and transaction payload grow with the shard).
+    shard_ship_per_tx: float = 1.1
+    #: Flat cost of a follower's reply message (follower->master leg).
+    shard_reply_us: float = 90.0
+    #: Per-transaction marginal cost of the reply (results + overlays).
+    shard_reply_per_tx: float = 0.6
+    #: Master-side merge cost per transaction: applying follower overlays
+    #: and rebuilding block-order results.
+    dist_merge_per_tx: float = 0.4
     #: Per-category execution weights.
     weights: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
 

@@ -1,0 +1,410 @@
+"""Distributed sharded validation: partition properties, bit-identity,
+and the follower fault matrix.
+
+The load-bearing claim of :mod:`repro.distributed` is that *any* shard
+partitioning reproduces single-node validation bit for bit — same state
+root, same receipts, same gas — because dependency-graph components are
+account-disjoint.  The property tests here draw arbitrary partitions
+(including one-shard and one-component-per-shard) and check exactly that;
+the fault matrix pins follower crash / straggler / byzantine replies to
+their typed :class:`~repro.faults.errors.FailureReason` mappings.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import Blockchain
+from repro.core.artifacts import artifacts_for
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.distributed import (
+    DistributedConfig,
+    DistributedValidator,
+    ShardCoordinator,
+    partition_components,
+)
+from repro.evm.interpreter import ExecutionContext
+from repro.exec.sharding import build_shard_work
+from repro.faults.errors import FailureReason
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.network.node import ProposerNode
+from repro.network.shardrpc import FollowerNode, ShardAssignment
+from repro.network.simnet import NetworkConfig, NetworkSimulation
+from repro.workload.generator import BlockWorkloadGenerator
+from repro.workload.scenarios import (
+    hotspot_scenario,
+    mainnet_scenario,
+    payment_heavy_scenario,
+)
+
+pytestmark = pytest.mark.distributed
+
+
+# --------------------------------------------------------------------- #
+# partitioning                                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestPartition:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            partition_components([1, 2, 3], 0)
+
+    def test_empty_components(self):
+        plan = partition_components([], 4)
+        assert plan.shards == () and plan.gas == ()
+
+    def test_fewer_components_than_shards(self):
+        plan = partition_components([10, 20], 5)
+        assert plan.n_shards == 2
+        assert sorted(c for shard in plan.shards for c in shard) == [0, 1]
+
+    def test_lpt_balances_skewed_load(self):
+        # one heavy component cannot be split; the rest spread around it
+        plan = partition_components([100, 10, 10, 10, 10, 10, 10], 3)
+        assert plan.n_shards == 3
+        assert max(plan.gas) == 100  # heavy component alone in its shard
+
+    @given(
+        gas=st.lists(st.integers(min_value=0, max_value=10**6), max_size=40),
+        n_shards=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_exact_cover(self, gas, n_shards):
+        plan = partition_components(gas, n_shards)
+        members = sorted(c for shard in plan.shards for c in shard)
+        assert members == list(range(len(gas)))  # every component, once
+        assert len(plan.gas) == plan.n_shards
+        for shard, load in zip(plan.shards, plan.gas):
+            assert load == sum(gas[c] for c in shard)
+        assert plan.n_shards == min(n_shards, len(gas)) or not gas
+
+    def test_deterministic(self):
+        gas = [7, 3, 9, 1, 4, 4]
+        assert partition_components(gas, 3) == partition_components(gas, 3)
+
+
+# --------------------------------------------------------------------- #
+# bit-identity                                                          #
+# --------------------------------------------------------------------- #
+
+
+def _seal_block(universe, workload_config):
+    generator = BlockWorkloadGenerator(universe, workload_config)
+    chain = Blockchain(universe.genesis)
+    txs = generator.generate_block_txs()
+    sealed = ProposerNode("dist-test").build_block(
+        chain.genesis.header, universe.genesis, txs
+    )
+    return sealed.block
+
+
+def _fingerprint(result):
+    return (
+        result.post_state.state_root(),
+        [(r.gas_used, r.success, r.fee) for r in result.tx_results],
+    )
+
+
+SCENARIOS = {
+    "payment_heavy": lambda: payment_heavy_scenario(seed=3),
+    "hotspot": lambda: hotspot_scenario(0.9, seed=3),
+    "mainnet": lambda: mainnet_scenario(seed=4),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("followers", [1, 4])
+    def test_matches_single_node_on_conformance_scenarios(
+        self, small_universe, scenario, followers
+    ):
+        cfg = dataclasses.replace(
+            SCENARIOS[scenario](), txs_per_block=40, tx_count_jitter=0.0
+        )
+        block = _seal_block(small_universe, cfg)
+        reference = ParallelValidator().validate_block(
+            block, small_universe.genesis
+        )
+        assert reference.accepted
+
+        dv = DistributedValidator(followers)
+        distributed = dv.validate(block, small_universe.genesis)
+        assert distributed.accepted and distributed.used_distributed
+        assert _fingerprint(distributed) == _fingerprint(reference)
+        record = dv.last_record
+        assert record is not None and record.fallback is None
+        assert 1 <= record.n_shards <= followers
+
+    def test_per_component_shards(self, small_universe, small_generator):
+        """More followers than components: every component its own shard."""
+        block = _seal_block(
+            small_universe,
+            dataclasses.replace(
+                payment_heavy_scenario(seed=3), txs_per_block=24, tx_count_jitter=0.0
+            ),
+        )
+        art = artifacts_for(block, "account")
+        n_components = len(art.graph.components)
+        dv = DistributedValidator(n_components + 8)
+        reference = ParallelValidator().validate_block(block, small_universe.genesis)
+        distributed = dv.validate(block, small_universe.genesis)
+        assert distributed.accepted and distributed.used_distributed
+        assert dv.last_record.n_shards == n_components
+        assert _fingerprint(distributed) == _fingerprint(reference)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_partition_reproduces_reference(
+        self, small_universe, data
+    ):
+        """Arbitrary component->shard maps merge to the reference result.
+
+        Bypasses the coordinator's LPT planner entirely: hypothesis draws
+        the partition, honest followers execute it, and the coordinator's
+        merge must still reproduce the single-node outcome bit for bit.
+        """
+        # fresh nonce map per example: block building must not depend on
+        # what previous examples generated, or draw bounds shift
+        universe = dataclasses.replace(small_universe, nonces={})
+        block = _seal_block(
+            universe,
+            dataclasses.replace(
+                payment_heavy_scenario(seed=5), txs_per_block=30, tx_count_jitter=0.0
+            ),
+        )
+        reference = ParallelValidator().validate_block(block, universe.genesis)
+        assert reference.accepted
+
+        art = artifacts_for(block, "account")
+        graph = art.graph
+        footprints = art.component_footprints()
+        gas = art.component_gas()
+        n_components = len(graph.components)
+        n_shards = data.draw(st.integers(min_value=1, max_value=n_components))
+        assignment = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_shards - 1),
+                min_size=n_components,
+                max_size=n_components,
+            )
+        )
+
+        shards = {}
+        for comp, shard in enumerate(assignment):
+            shards.setdefault(shard, []).append(comp)
+        follower = FollowerNode("prop-follower")
+        ctx = ExecutionContext(
+            block_number=block.header.number,
+            timestamp=block.header.timestamp,
+            coinbase=block.header.coinbase,
+            gas_limit=block.header.gas_limit,
+        )
+        resolved = {}
+        for shard_id, comps in sorted(shards.items()):
+            works = tuple(
+                build_shard_work(
+                    block,
+                    universe.genesis,
+                    comp,
+                    graph.components[comp],
+                    footprints[comp],
+                    gas[comp],
+                )
+                for comp in comps
+            )
+            reply = follower.handle(
+                ShardAssignment(
+                    block_hash=block.hash,
+                    shard_id=shard_id,
+                    attempt=0,
+                    works=works,
+                    ctx=ctx,
+                )
+            )
+            assert reply is not None
+            resolved[shard_id] = reply
+
+        outcome = ShardCoordinator._merge(
+            None, block, universe.genesis, graph, resolved
+        )
+        from repro.chain.params import DEFAULT_CHAIN_PARAMS
+        from repro.core.proposer import finalize_block_state
+
+        post_state = finalize_block_state(
+            outcome.db.commit(),
+            coinbase=block.header.coinbase,
+            total_fees=outcome.total_fees,
+            block_number=block.number,
+            uncles=block.uncles,
+            params=DEFAULT_CHAIN_PARAMS,
+        )
+        assert post_state.state_root() == reference.post_state.state_root()
+        assert [
+            (r.gas_used, r.success, r.fee) for r in outcome.tx_results
+        ] == [(r.gas_used, r.success, r.fee) for r in reference.tx_results]
+
+    def test_simnet_followers_match_baseline(self, small_universe):
+        def run(followers):
+            uni = dataclasses.replace(small_universe, nonces={})
+            sim = NetworkSimulation(
+                uni,
+                config=NetworkConfig(
+                    rounds=3, n_proposers=2, seed=7, followers=followers
+                ),
+            )
+            return sim.run()
+
+        baseline, sharded = run(0), run(4)
+        assert sharded.total_txs == baseline.total_txs > 0
+        assert sharded.final_root_hex == baseline.final_root_hex
+        assert sharded.chains_agree
+
+
+# --------------------------------------------------------------------- #
+# fault matrix                                                          #
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def sealed_block(small_universe):
+    return _seal_block(
+        small_universe,
+        dataclasses.replace(
+            payment_heavy_scenario(seed=3), txs_per_block=40, tx_count_jitter=0.0
+        ),
+    )
+
+
+@pytest.mark.faults
+class TestFollowerFaultMatrix:
+    def test_total_crash_maps_to_worker_fault(self, small_universe, sealed_block):
+        injector = FaultInjector(FaultConfig(seed=3, follower_crash_rate=1.0))
+        dv = DistributedValidator(
+            4, injector=injector, config=ValidatorConfig(serial_fallback=False)
+        )
+        result = dv.validate(sealed_block, small_universe.genesis)
+        assert not result.accepted
+        assert result.failure is not None
+        assert result.failure.reason is FailureReason.WORKER_FAULT
+        assert "crash" in result.failure.detail
+        # the whole pool died on first contact: one fault per follower
+        assert dv.last_record.follower_faults == 4
+
+    def test_crash_degrades_to_serial_fallback(self, small_universe, sealed_block):
+        reference = ParallelValidator().validate_block(
+            sealed_block, small_universe.genesis
+        )
+        injector = FaultInjector(FaultConfig(seed=3, follower_crash_rate=1.0))
+        dv = DistributedValidator(4, injector=injector)
+        result = dv.validate(sealed_block, small_universe.genesis)
+        assert result.accepted and not result.used_distributed
+        assert dv.last_record.fallback == "worker_fault"
+        assert _fingerprint(result) == _fingerprint(reference)
+
+    def test_byzantine_reply_maps_to_worker_fault(
+        self, small_universe, sealed_block
+    ):
+        injector = FaultInjector(FaultConfig(seed=3, follower_byzantine_rate=1.0))
+        dv = DistributedValidator(
+            4, injector=injector, config=ValidatorConfig(serial_fallback=False)
+        )
+        result = dv.validate(sealed_block, small_universe.genesis)
+        assert not result.accepted
+        assert result.failure.reason is FailureReason.WORKER_FAULT
+        assert "byzantine" in result.failure.detail
+        # a lying follower must never strike the (honest) proposer
+        statuses = {a.status for a in dv.last_record.attempts}
+        assert statuses == {"byzantine"}
+
+    def test_byzantine_reply_survived_by_fallback(
+        self, small_universe, sealed_block
+    ):
+        reference = ParallelValidator().validate_block(
+            sealed_block, small_universe.genesis
+        )
+        injector = FaultInjector(FaultConfig(seed=3, follower_byzantine_rate=1.0))
+        dv = DistributedValidator(4, injector=injector)
+        result = dv.validate(sealed_block, small_universe.genesis)
+        assert result.accepted
+        assert _fingerprint(result) == _fingerprint(reference)
+
+    def test_straggler_exhaustion_maps_to_timeout(
+        self, small_universe, sealed_block
+    ):
+        # seed chosen so some-but-not-most shards stall: the median-based
+        # deadline then flags the stalled replies as stragglers
+        injector = FaultInjector(FaultConfig(seed=1, follower_stall_rate=0.4))
+        dv = DistributedValidator(
+            4,
+            injector=injector,
+            dist_config=DistributedConfig(n_followers=4, max_reassignments=0),
+            config=ValidatorConfig(serial_fallback=False),
+        )
+        result = dv.validate(sealed_block, small_universe.genesis)
+        assert not result.accepted
+        assert result.failure.reason is FailureReason.TIMEOUT
+        assert "straggled" in result.failure.detail
+
+    def test_partial_crash_recovers_via_reassignment(
+        self, small_universe, sealed_block
+    ):
+        reference = ParallelValidator().validate_block(
+            sealed_block, small_universe.genesis
+        )
+        recovered = 0
+        for seed in range(12):
+            injector = FaultInjector(
+                FaultConfig(seed=seed, follower_crash_rate=0.3)
+            )
+            dv = DistributedValidator(4, injector=injector)
+            result = dv.validate(sealed_block, small_universe.genesis)
+            record = dv.last_record
+            assert result.accepted
+            if result.used_distributed and record.reassignments > 0:
+                recovered += 1
+                assert _fingerprint(result) == _fingerprint(reference)
+        assert recovered > 0, "no seed exercised crash-then-recover"
+
+    def test_reassignment_rolls_fresh_faults(self):
+        """The fault key includes the attempt, so a re-dispatch re-rolls."""
+        injector = FaultInjector(FaultConfig(seed=0, follower_crash_rate=0.5))
+        block_hash = b"\x07" * 32
+        rolls = {
+            attempt: injector.follower_fault(block_hash, 0, "f-0", attempt).crash
+            for attempt in range(32)
+        }
+        assert set(rolls.values()) == {True, False}
+
+    def test_lying_proposer_still_rejected_under_distribution(
+        self, small_universe
+    ):
+        """A corrupted profile is the proposer's fault, never a follower's.
+
+        The tampered entries make honest follower replies look byzantine;
+        exhaustion falls back to local validation, which rejects with the
+        proper profile reason so quarantine strikes the right party.
+        """
+        block = _seal_block(
+            small_universe,
+            dataclasses.replace(
+                payment_heavy_scenario(seed=3), txs_per_block=20, tx_count_jitter=0.0
+            ),
+        )
+        injector = FaultInjector(FaultConfig(seed=3))
+        corrupted = injector.corrupt_block(block, "profile_gas")
+        dv = DistributedValidator(4)
+        result = dv.validate(corrupted, small_universe.genesis)
+        assert not result.accepted
+        assert result.failure is not None
+        assert result.failure.reason in {
+            FailureReason.PROFILE_GAS_MISMATCH,
+            FailureReason.PROFILE_READ_MISMATCH,
+            FailureReason.PROFILE_WRITE_MISMATCH,
+        }

@@ -13,9 +13,10 @@ pytestmark = pytest.mark.faults
 from repro.core.pipeline import PipelineConfig
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.faults.scenarios import build_env
-from repro.network.dissemination import ForkSimulator
+from repro.network.dissemination import ForkSet, ForkSimulator
 from repro.network.node import ValidatorNode
 from repro.network.simnet import NetworkConfig, NetworkSimulation
+from repro.obs.metrics import MetricsRegistry
 from repro.txpool.pool import TxPool
 from repro.workload.universe import UniverseConfig, build_universe
 
@@ -106,6 +107,87 @@ class TestFaultyChannel:
             return (r.final_root_hex, r.final_height, r.channel_counters)
 
         assert run() == run()
+
+
+class TestNetworkAccounting:
+    """Regression tests for the sim-accounting bugs (ISSUE 9 satellites)."""
+
+    def test_sent_delivered_reconcile_after_flush(self):
+        """Every sent block is eventually delivered exactly once (drops are
+        guaranteed retransmissions), plus one extra delivery per duplicate —
+        so the global counters must reconcile once the end-of-run flush has
+        drained the backlogs.  The flush path used to skip the
+        ``net.blocks_delivered`` increment, leaving the books permanently
+        short by however many blocks the final rounds dropped."""
+        metrics = MetricsRegistry()
+        cfg = NetworkConfig(rounds=5, fork_probability=0.5, seed=101)
+        # seed 10 @ 50% drops leaves a non-empty backlog for the final
+        # flush, so the reconciliation below genuinely covers the flush path
+        faults = FaultConfig(
+            seed=10,
+            drop_rate=0.5,
+            duplicate_rate=0.2,
+            reorder_rate=0.5,
+            max_delay_us=500.0,
+        )
+        sim = NetworkSimulation(
+            small_world(), config=cfg, faults=faults, metrics=metrics
+        )
+        result = sim.run()
+        counters = result.channel_counters
+        assert counters["dropped"] >= 1  # the flush path was exercised
+        sent = metrics.counter("net.blocks_sent").value
+        delivered = metrics.counter("net.blocks_delivered").value
+        assert delivered == sent + counters["duplicated"]
+        # the channels' own books agree with the global metric
+        assert delivered == counters["delivered"]
+
+    def test_total_txs_counts_canonical_blocks(self):
+        """``total_txs`` must count the blocks that actually committed, not
+        whichever sibling happened to sit at index 0 of the round's batch.
+        Here the byzantine winner publishes a truncated block at index 0;
+        the canonical chain holds the honest rival's full block."""
+        cfg = NetworkConfig(
+            rounds=4,
+            n_proposers=2,
+            byzantine_proposers=(0,),
+            corruption="truncate_txs",
+            fork_probability=1.0,
+            quarantine_threshold=0,
+            seed=11,
+        )
+        sim = NetworkSimulation(small_world(), config=cfg)
+        result = sim.run()
+        chain_total = sum(
+            len(b) for b in sim.validators[0].chain.canonical_chain()
+        )
+        assert result.total_txs == chain_total
+        # the scenario genuinely exercises the bug: summing index 0 of each
+        # round's batch gives a different (wrong) number
+        assert sum(r.block_txs[0] for r in result.rounds) != chain_total
+
+    def test_out_of_range_byzantine_proposer_raises(self):
+        """A typo'd byzantine index must fail loudly, not silently run the
+        honest scenario."""
+        cfg = NetworkConfig(n_proposers=3, byzantine_proposers=(7,))
+        with pytest.raises(ValueError, match="out of range"):
+            NetworkSimulation(small_world(), config=cfg)
+
+    def test_negative_byzantine_proposer_raises(self):
+        cfg = NetworkConfig(n_proposers=3, byzantine_proposers=(-1,))
+        with pytest.raises(ValueError, match="out of range"):
+            NetworkSimulation(small_world(), config=cfg)
+
+    def test_forkset_published_defaults_to_sealed_blocks(self):
+        """ForkSet normalises ``published=None`` to the sealed blocks (the
+        typed Optional default replacing the old ``type: ignore`` hack)."""
+        env = build_env(0)
+        sim = ForkSimulator(2, seed=3)
+        txs = env.generator.generate_block_txs()
+        forks = sim.propose_forks(env.parent_header, env.parent_state, txs)
+        defaulted = ForkSet(proposals=forks.proposals)
+        assert defaulted.published == [p.block for p in forks.proposals]
+        assert defaulted.blocks == defaulted.published
 
 
 class TestForkSimulatorByzantine:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all test-fast test-faults test-store test-blockstm test-distributed serve-demo telemetry-smoke check check-fuzz check-fuzz-blockstm lint typecheck coverage bench bench-json bench-hotpath bench-strategies bench-distributed bench-compare trace-demo examples clean
+.PHONY: install test test-all test-fast test-faults test-store test-blockstm test-distributed test-scenarios serve-demo telemetry-smoke check check-fuzz check-fuzz-blockstm lint typecheck coverage bench bench-json bench-hotpath bench-strategies bench-distributed bench-scenarios bench-compare trace-demo examples clean
 
 install:
 	pip install -e . --no-build-isolation 2>/dev/null || $(PYTHON) setup.py develop
@@ -34,6 +34,12 @@ test-blockstm:
 # follower fault matrix, and the scaling bench (@pytest.mark.distributed)
 test-distributed:
 	$(PYTHON) -m pytest tests benchmarks -m distributed -q
+
+# scenario diversity engine: stream unit tests, hypothesis invariants,
+# the scenario × strategy × backend conformance matrix, and the
+# per-scenario bench (everything tagged @pytest.mark.scenarios)
+test-scenarios:
+	$(PYTHON) -m pytest tests benchmarks -m scenarios -q
 
 # run a persistent node for 20 blocks against ./serve-demo-data, then resume
 # it (second run recovers from disk and produces nothing new)
@@ -103,6 +109,12 @@ bench-strategies:
 bench-distributed:
 	$(PYTHON) benchmarks/bench_distributed.py --quick
 
+# per-scenario speedup/abort-rate table (sim clock => bit-reproducible);
+# regenerates the committed BENCH_scenarios.json golden and exits non-zero
+# if the partitioned-counter variant stops beating the shared-counter one
+bench-scenarios:
+	$(PYTHON) benchmarks/bench_scenarios.py --quick
+
 # regression gate: emit fresh sim-deterministic baselines into a scratch dir
 # (REPRO_BENCH_BLOCKS=4 matches how the committed goldens were generated)
 # and diff them against the committed goldens in benchmarks/results/
@@ -113,12 +125,15 @@ bench-compare:
 		benchmarks/bench_fig9_multiblock.py \
 		benchmarks/bench_obs_overhead.py \
 		benchmarks/bench_hotpath.py -q
+	$(PYTHON) benchmarks/bench_scenarios.py --quick \
+		--results-dir benchmarks/results/.fresh
 	$(PYTHON) -m repro.obs.baseline \
 		--old-dir benchmarks/results --new-dir benchmarks/results/.fresh \
-		--names fig6_proposer fig7a_scalability fig9_multiblock hotpath obs_live
+		--names fig6_proposer fig7a_scalability fig9_multiblock hotpath obs_live \
+		scenarios
 
 trace-demo:
-	$(PYTHON) -m repro --txs-per-block 60 trace --scenario round --rounds 2 \
+	$(PYTHON) -m repro --txs-per-block 60 trace --mode round --rounds 2 \
 		--out trace.json
 	$(PYTHON) examples/tracing_demo.py
 
@@ -132,6 +147,7 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results/.fresh \
 		benchmarks/results/.fresh-strategies \
 		benchmarks/results/.fresh-distributed \
+		benchmarks/results/.fresh-scenarios \
 		.coverage coverage.xml .mypy_cache .ruff_cache serve-demo-data
 	find benchmarks/results -type f ! -name 'BENCH_*.json' -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

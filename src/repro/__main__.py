@@ -25,6 +25,11 @@ uses; the other three run the same algorithms on real cores (see
 (see :mod:`repro.core.strategies`); every subcommand that builds blocks
 honours it, so ``python -m repro --strategy block-stm fuzz`` fuzzes the
 Block-STM scheduler's yield points.
+
+``--scenario <name>`` swaps the workload for a named scenario stream
+(see :mod:`repro.workload.scenarios`): conflict-taming counter variants,
+burst arrivals, MEV bundles, the streaming long tail, or the
+day-in-the-life replay — ``python -m repro --scenario mev-bundles demo``.
 """
 
 from __future__ import annotations
@@ -48,11 +53,27 @@ from repro.network.dissemination import ForkSimulator
 from repro.network.node import ProposerNode, ValidatorNode
 from repro.txpool.pool import TxPool
 from repro.workload.generator import BlockWorkloadGenerator
-from repro.workload.scenarios import hotspot_scenario, mainnet_scenario
+from repro.workload.scenarios import (
+    get_scenario,
+    hotspot_scenario,
+    mainnet_scenario,
+    scenario_names,
+)
 from repro.workload.universe import build_universe
 
 
 def _setup(args):
+    """Universe + block source + chain for the workload the flags select.
+
+    With ``--scenario`` the block source is the named scenario stream
+    (which duck-types ``generate_block_txs``); otherwise it is the plain
+    mainnet-calibrated generator.
+    """
+    if getattr(args, "scenario", None):
+        stream = get_scenario(
+            args.scenario, seed=args.seed, txs_per_block=args.txs_per_block
+        )
+        return stream.universe, stream, Blockchain(stream.universe.genesis)
     universe = build_universe()
     config = dataclasses.replace(
         mainnet_scenario(seed=args.seed), txs_per_block=args.txs_per_block
@@ -195,7 +216,13 @@ def cmd_simulate(args) -> int:
     from repro.network.simnet import NetworkConfig, NetworkSimulation
     from repro.obs import MetricsRegistry
 
-    universe = build_universe()
+    if args.scenario:
+        stream = get_scenario(
+            args.scenario, seed=args.seed, txs_per_block=args.txs_per_block
+        )
+        universe, generator = stream.universe, stream
+    else:
+        universe, generator = build_universe(), None
     metrics = MetricsRegistry()
     sim = NetworkSimulation(
         universe,
@@ -206,6 +233,7 @@ def cmd_simulate(args) -> int:
             seed=args.seed,
             followers=args.followers,
         ),
+        generator=generator,
         metrics=metrics,
     )
     result = sim.run()
@@ -296,7 +324,7 @@ def cmd_trace(args) -> int:
     tracer = Tracer()
     metrics = MetricsRegistry()
 
-    if args.scenario == "network":
+    if args.mode == "network":
         from repro.network.simnet import NetworkConfig, NetworkSimulation
 
         sim = NetworkSimulation(
@@ -355,6 +383,10 @@ def _fuzz_scenario(args):
     on it so a repro file's recorded decisions land on the same workload."""
     from repro.check.fuzzer import ConformanceScenario
 
+    if getattr(args, "scenario", None):
+        return ConformanceScenario.named(
+            args.scenario, n_txs=args.txs, seed=args.seed, strategy=args.strategy
+        )
     return ConformanceScenario.hotspot(
         n_txs=args.txs, seed=args.seed, strategy=args.strategy
     )
@@ -437,6 +469,7 @@ def cmd_serve(args) -> int:
         data_dir=args.data_dir,
         seed=args.seed,
         txs_per_block=args.txs_per_block,
+        scenario=args.scenario,
         max_height=args.blocks,
         block_interval=args.block_interval,
         snapshot_interval=args.snapshot_interval,
@@ -561,6 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="proposer execution engine: occ-wsi (paper Alg. 1, default), "
         "two-phase (Saraph & Herlihy), or block-stm (Gelashvili et al.)",
     )
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default=None,
+        help="named workload scenario stream (repro.workload.scenarios); "
+        "default: the paper-calibrated mainnet mix",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="one propose/validate round trip")
@@ -591,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("hotspot", help="Fig. 8-style intensity sweep")
     p = sub.add_parser("trace", help="traced run -> Chrome-trace JSON + flame")
     p.add_argument(
-        "--scenario",
+        "--mode",
         choices=["round", "network"],
         default="round",
         help="round: proposer/validator round trips; network: full simnet",

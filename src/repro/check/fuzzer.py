@@ -312,6 +312,48 @@ class ConformanceScenario:
             scenario.adversarial_blocks.append(forge_lying_profile_block(universe))
         return scenario
 
+    @classmethod
+    def named(
+        cls,
+        scenario: str,
+        n_txs: int = 18,
+        seed: int = 7,
+        *,
+        lanes: int = 4,
+        workers: int = 2,
+        with_adversarial: bool = True,
+        strategy: str = "occ-wsi",
+    ) -> "ConformanceScenario":
+        """A fuzz target drawn from the workload scenario registry.
+
+        The compact variant of the named stream supplies the universe and
+        one block of traffic, so every registered traffic shape (counter
+        variants, bursts, MEV bundles, long tail, ...) runs under the same
+        serializability + differential oracles as the default hotspot
+        target — ``python -m repro --scenario mev-bundles fuzz``.
+        """
+        from repro.workload.scenarios import get_scenario
+
+        if strategy not in STRATEGY_CHOICES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        stream = get_scenario(
+            scenario, seed=seed, txs_per_block=n_txs, compact=True
+        )
+        label = scenario if strategy == "occ-wsi" else f"{scenario}[{strategy}]"
+        out = cls(
+            name=label,
+            universe=stream.universe,
+            txs=stream.generate_block_txs(),
+            lanes=lanes,
+            workers=workers,
+            strategy=strategy,
+        )
+        if with_adversarial:
+            out.adversarial_blocks.append(
+                forge_lying_profile_block(stream.universe)
+            )
+        return out
+
     # -- cached reference artifacts -------------------------------------- #
 
     def parent_header(self):

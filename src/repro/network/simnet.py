@@ -127,6 +127,7 @@ class NetworkSimulation:
         *,
         config: Optional[NetworkConfig] = None,
         workload: Optional[WorkloadConfig] = None,
+        generator: Optional[Any] = None,
         faults: Optional[FaultConfig] = None,
         tracer: Any = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -139,7 +140,9 @@ class NetworkSimulation:
         self.metrics = metrics
         self.injector = FaultInjector(faults or FaultConfig(seed=self.config.seed))
         self.rng = random.Random(self.config.seed)
-        self.generator = BlockWorkloadGenerator(
+        #: ``generator`` overrides the default workload with any block
+        #: source exposing ``generate_block_txs`` (e.g. a scenario stream)
+        self.generator = generator or BlockWorkloadGenerator(
             universe, workload or WorkloadConfig(seed=self.config.seed)
         )
         self.proposers = [

@@ -50,7 +50,7 @@ from repro.store.backend import DiskStore
 from repro.store.errors import ConfigMismatchError, StoreError
 from repro.store.recovery import RecoveryResult
 from repro.workload.generator import BlockWorkloadGenerator
-from repro.workload.scenarios import mainnet_scenario
+from repro.workload.scenarios import get_scenario, mainnet_scenario
 from repro.workload.universe import build_universe
 
 __all__ = ["ServeConfig", "ServeReport", "NodeService"]
@@ -66,6 +66,10 @@ class ServeConfig:
     data_dir: str
     seed: int = 42
     txs_per_block: int = 132
+    #: named scenario stream for the workload (None = mainnet mix); pinned
+    #: in the manifest — a data dir produced under one scenario refuses to
+    #: resume under another
+    scenario: Optional[str] = None
     #: stop after the chain reaches this height (0 = run until signalled)
     max_height: int = 0
     #: simulated seconds between blocks (header-timestamp step)
@@ -92,12 +96,17 @@ class ServeConfig:
 
     def pinned(self) -> Dict[str, Any]:
         """The subset a resume must match exactly."""
-        return {
+        pinned = {
             "seed": self.seed,
             "txsPerBlock": self.txs_per_block,
             "blockInterval": self.block_interval,
             "snapshotInterval": self.snapshot_interval,
         }
+        # only pinned when set: manifests written before scenarios existed
+        # carry no key, and None == absent keeps them resumable
+        if self.scenario is not None:
+            pinned["scenario"] = self.scenario
+        return pinned
 
 
 @dataclass
@@ -271,11 +280,17 @@ class NodeService:
         if handle_signals:
             self.install_signal_handlers()
 
-        universe = build_universe()
-        workload = dataclasses.replace(
-            mainnet_scenario(seed=cfg.seed), txs_per_block=cfg.txs_per_block
-        )
-        generator = BlockWorkloadGenerator(universe, workload)
+        if cfg.scenario:
+            stream = get_scenario(
+                cfg.scenario, seed=cfg.seed, txs_per_block=cfg.txs_per_block
+            )
+            universe, generator = stream.universe, stream
+        else:
+            universe = build_universe()
+            workload = dataclasses.replace(
+                mainnet_scenario(seed=cfg.seed), txs_per_block=cfg.txs_per_block
+            )
+            generator = BlockWorkloadGenerator(universe, workload)
 
         telemetry = self.telemetry = self._build_telemetry()
         chain, store, recovery = open_store(

@@ -16,9 +16,12 @@ Offline, this package generates blocks with the same *conflict structure*:
 * :mod:`repro.workload.generator` -- per-block transaction sampling with
   Zipf-skewed account popularity and a tunable ``hotspot_intensity`` knob
   that reproduces (and sweeps) the paper's subgraph-ratio distribution;
-* :mod:`repro.workload.scenarios` -- named parameterisations: the default
-  mainnet-like mix, payment-heavy early-era blocks, and the hotspot sweep
-  used by the Fig. 8 benchmark.
+* :mod:`repro.workload.scenarios` -- named parameterisations (the default
+  mainnet-like mix, payment-heavy early-era blocks, the hotspot sweep
+  used by the Fig. 8 benchmark) plus the scenario *stream* engine:
+  conflict-taming counter variants, burst-arrival models, MEV bundle
+  chains, a streaming long-tail generator and a day-in-the-life replay,
+  all behind one registry (``get_scenario``).
 """
 
 from repro.workload.contracts import (
@@ -51,6 +54,12 @@ from repro.workload.scenarios import (
     payment_heavy_scenario,
     hotspot_scenario,
     era_profile,
+    ScenarioStream,
+    ScenarioSpec,
+    SCENARIO_REGISTRY,
+    get_scenario,
+    scenario_names,
+    tx_fingerprint,
 )
 
 __all__ = [
@@ -74,6 +83,12 @@ __all__ = [
     "payment_heavy_scenario",
     "hotspot_scenario",
     "era_profile",
+    "ScenarioStream",
+    "ScenarioSpec",
+    "SCENARIO_REGISTRY",
+    "get_scenario",
+    "scenario_names",
+    "tx_fingerprint",
     "dump_trace",
     "load_trace",
     "save_trace_file",

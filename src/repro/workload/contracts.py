@@ -13,6 +13,16 @@ paper identify (§2.3, §5.5):
 * **Airdrop claim** — a shared remaining-supply counter plus per-user
   claimed flags: the §2.3 "counter" conflict in its purest form.
 
+Two further ERC-20 variants isolate the *semantic conflict reduction*
+result of Garamvölgyi et al. ("Taming Application-Inherent Conflicts"):
+both count transfers, but the **shared-counter** variant read-modify-writes
+one global slot (every transfer of the token conflicts with every other),
+while the **partitioned-counter** variant bumps one of ``N`` shard slots
+selected by the caller (commutative increments land on disjoint keys, so
+only same-shard transfers conflict).  The two runtimes accept identical
+calldata, so the same sampled traffic can be replayed against either
+variant and the conflict-graph delta is purely the counter layout.
+
 ABI convention: the first 4 bytes of calldata carry the selector; each
 argument is a 32-byte big-endian word starting at offset 4.  Mapping slots
 follow Solidity: ``keccak(key_word ++ slot_word)``.
@@ -32,15 +42,19 @@ __all__ = [
     "SEL_NFT_MINT",
     "SEL_CLAIM",
     "erc20_code",
+    "erc20_shared_counter_code",
+    "erc20_partitioned_counter_code",
     "amm_code",
     "nft_code",
     "airdrop_code",
     "erc20_transfer_calldata",
+    "erc20_counted_transfer_calldata",
     "erc20_mint_calldata",
     "amm_swap_calldata",
     "nft_mint_calldata",
     "airdrop_claim_calldata",
     "erc20_balance_slot",
+    "erc20_shard_counter_slot",
     "nft_owner_slot",
     "airdrop_claimed_slot",
     "mapping_slot",
@@ -55,6 +69,9 @@ SEL_CLAIM = 5
 
 # storage layout constants
 ERC20_BALANCES_SLOT = 0
+#: shared variant: the raw slot of the global transfer counter;
+#: partitioned variant: the mapping base slot of the per-shard counters
+ERC20_COUNTER_SLOT = 1
 AMM_RESERVE0_SLOT = 0
 AMM_RESERVE1_SLOT = 1
 NFT_NEXT_ID_SLOT = 0
@@ -91,6 +108,11 @@ def mapping_slot(key: int, slot: int) -> int:
 
 def erc20_balance_slot(holder: Address) -> int:
     return mapping_slot(holder.to_int(), ERC20_BALANCES_SLOT)
+
+
+def erc20_shard_counter_slot(shard: int) -> int:
+    """Per-shard transfer-count slot of the partitioned-counter variant."""
+    return mapping_slot(shard, ERC20_COUNTER_SLOT)
 
 
 def nft_owner_slot(token_id: int) -> int:
@@ -199,6 +221,77 @@ def erc20_mint_calldata(to: Address, amount: int) -> bytes:
         SEL_MINT.to_bytes(4, "big")
         + to.to_int().to_bytes(32, "big")
         + amount.to_bytes(32, "big")
+    )
+
+
+def _erc20_counted_code(partitioned: bool) -> bytes:
+    """Shared assembly of the two counter variants (see module docs).
+
+    ``transfer(to, amount, shard)`` moves balance exactly like
+    :func:`erc20_code`'s transfer, then counts the transfer: the shared
+    variant read-modify-writes the single ``ERC20_COUNTER_SLOT`` (and
+    ignores ``shard``); the partitioned variant bumps
+    ``counters[shard]`` at ``mapping_slot(shard, ERC20_COUNTER_SLOT)``.
+    """
+    a = Assembler()
+    _emit_selector_dispatch(a, [(SEL_TRANSFER, "transfer")])
+
+    # -- transfer(to @4, amount @36, shard @68) ------------------------- #
+    a.label("transfer")
+    a.op("POP")  # drop selector
+    a.op("CALLER")
+    _emit_mapping_key(a, ERC20_BALANCES_SLOT)  # [key_from]
+    a.op("DUP1").op("SLOAD")  # [bal_from, key_from]
+    a.push(36).op("CALLDATALOAD")  # [amt, bal_from, key_from]
+    a.op("DUP1").op("DUP3")  # [bal_from, amt, amt, bal_from, key_from]
+    a.op("SWAP1")  # [amt, bal_from, amt, bal_from, key_from]
+    a.op("GT").jumpi_to("insufficient")  # amt > bal_from ?
+    a.op("SWAP1")  # [bal_from, amt, key_from]
+    a.op("SUB")  # [bal_from - amt, key_from]
+    a.op("SWAP1").op("SSTORE")  # sstore(key_from, new_from)
+    a.push(4).op("CALLDATALOAD")  # [to]
+    _emit_mapping_key(a, ERC20_BALANCES_SLOT)  # [key_to]
+    a.op("DUP1").op("SLOAD")  # [bal_to, key_to]
+    a.push(36).op("CALLDATALOAD").op("ADD")  # [new_to, key_to]
+    a.op("SWAP1").op("SSTORE")
+
+    # -- count the transfer --------------------------------------------- #
+    if partitioned:
+        a.push(68).op("CALLDATALOAD")  # [shard]
+        _emit_mapping_key(a, ERC20_COUNTER_SLOT)  # [key_shard]
+        a.op("DUP1").op("SLOAD")  # [count, key_shard]
+        a.push(1).op("ADD")  # [count+1, key_shard]
+        a.op("SWAP1").op("SSTORE")
+    else:
+        a.push(ERC20_COUNTER_SLOT).op("SLOAD")  # [count]
+        a.push(1).op("ADD")  # [count+1]
+        a.push(ERC20_COUNTER_SLOT).op("SSTORE")
+    _emit_log0(a)
+    a.op("STOP")
+
+    a.label("insufficient")
+    _emit_revert(a)
+    return a.assemble()
+
+
+def erc20_shared_counter_code() -> bytes:
+    """Counting token, naive layout: one global transfer counter."""
+    return _erc20_counted_code(partitioned=False)
+
+
+def erc20_partitioned_counter_code() -> bytes:
+    """Counting token, conflict-tamed layout: per-shard counters."""
+    return _erc20_counted_code(partitioned=True)
+
+
+def erc20_counted_transfer_calldata(to: Address, amount: int, shard: int) -> bytes:
+    """Calldata accepted by *both* counter variants (shard ignored by the
+    shared one) — identical traffic, different conflict footprint."""
+    return (
+        SEL_TRANSFER.to_bytes(4, "big")
+        + to.to_int().to_bytes(32, "big")
+        + amount.to_bytes(32, "big")
+        + shard.to_bytes(32, "big")
     )
 
 

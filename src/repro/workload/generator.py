@@ -89,12 +89,47 @@ class BlockWorkloadGenerator:
     """Stateful generator: tracks nonces and airdrop claims across blocks."""
 
     def __init__(self, universe: Universe, config: Optional[WorkloadConfig] = None):
+        if not universe.eoas:
+            raise ValueError("cannot generate transactions: universe has no EOAs")
         self.universe = universe
-        self.config = config or WorkloadConfig()
-        self.rng = random.Random(self.config.seed)
+        cfg = config or WorkloadConfig()
+        self.rng = random.Random(cfg.seed)
         self._claimed: Dict[Address, set] = {a: set() for a in universe.airdrops}
+        self.config = cfg  # property: validates and derives sampling weights
+
+    @property
+    def config(self) -> WorkloadConfig:
+        return self._config
+
+    @config.setter
+    def config(self, value: WorkloadConfig) -> None:
+        """Swap the workload shape mid-stream (scenario engines modulate
+        the mix per height).  The RNG is *not* reseeded — the stream stays
+        one deterministic function of the original seed."""
+        weights = value.weights()
+        if any(w < 0 for w in weights):
+            raise ValueError("workload mix weights must be non-negative")
+        universe = self.universe
+        # a weighted kind with no deployed instances would crash sampling
+        # (IndexError out of an empty family); zero it out instead so
+        # partial universes (payments-only, no AMMs, ...) just work
+        families = [
+            universe.eoas,
+            universe.tokens,
+            universe.amms,
+            universe.nfts,
+            universe.airdrops,
+        ]
+        kind_weights = [w if family else 0.0 for w, family in zip(weights, families)]
+        if sum(kind_weights) <= 0 and value.deploy_fraction < 1.0:
+            raise ValueError(
+                "workload mix is empty: every transaction kind has zero weight "
+                "or no deployed instances (and deploy_fraction < 1)"
+            )
+        self._config = value
+        self._kind_weights = kind_weights
         # precomputed Zipf-like weights over EOAs for receiver popularity
-        skew = self.config.receiver_skew
+        skew = value.receiver_skew
         self._receiver_weights = [
             1.0 / (rank + 1) ** skew for rank in range(len(universe.eoas))
         ]
@@ -105,7 +140,18 @@ class BlockWorkloadGenerator:
         return self.rng.choices(self.universe.eoas, self._receiver_weights)[0]
 
     def _pick_hot_or_uniform(self, instances: Sequence) -> object:
-        """The family hotspot with probability ``hotspot_intensity``."""
+        """The family hotspot with probability ``hotspot_intensity``.
+
+        At intensity 0 traffic spreads uniformly over the *non-hottest*
+        instances — the hotspot contributes nothing, which is the sweep's
+        intended floor.  An empty family is a configuration error (the
+        constructor zeroes the weights of missing families, so reaching
+        this with one means the caller bypassed the mix).
+        """
+        if not instances:
+            raise ValueError(
+                "no deployed instances of the requested contract family"
+            )
         if len(instances) == 1 or self.rng.random() < self.config.hotspot_intensity:
             return instances[0]
         return self.rng.choice(instances[1:])
@@ -136,7 +182,7 @@ class BlockWorkloadGenerator:
             if cfg.deploy_fraction > 0 and rng.random() < cfg.deploy_fraction:
                 kind = "deploy"
             else:
-                kind = rng.choices(_KINDS, cfg.weights())[0]
+                kind = rng.choices(_KINDS, self._kind_weights)[0]
             drop = None
             if kind == "airdrop":
                 drop = self._pick_hot_or_uniform(uni.airdrops)

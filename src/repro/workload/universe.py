@@ -24,6 +24,8 @@ from repro.workload.contracts import (
     amm_code,
     erc20_balance_slot,
     erc20_code,
+    erc20_partitioned_counter_code,
+    erc20_shared_counter_code,
     nft_code,
 )
 
@@ -41,6 +43,13 @@ class UniverseConfig:
     n_amms: int = 8
     n_nfts: int = 6
     n_airdrops: int = 4
+    #: counting ERC-20 variants (see contracts module docs) — off by
+    #: default so the paper-calibrated genesis is unchanged; the
+    #: conflict-taming scenarios turn them on in matched pairs
+    n_counter_tokens: int = 0
+    n_partitioned_tokens: int = 0
+    #: shard count of the partitioned-counter variant
+    counter_shards: int = 8
     eoa_balance: int = 1_000 * ETHER
     token_holder_fraction: float = 0.8  # EOAs pre-holding each token
     initial_token_balance: int = 10**12
@@ -66,6 +75,9 @@ class Universe:
     amms: List[Tuple[Address, Address, Address]]  # (pool, token_in, token_out)
     nfts: List[Address]
     airdrops: List[Address]
+    #: counting ERC-20 variants (empty unless the config asks for them)
+    counter_tokens: List[Address] = field(default_factory=list)
+    partitioned_tokens: List[Address] = field(default_factory=list)
     nonces: Dict[Address, int] = field(default_factory=dict)
 
     def next_nonce(self, sender: Address) -> int:
@@ -90,6 +102,10 @@ def _contract_address(kind: int, index: int) -> Address:
 def build_universe(config: UniverseConfig | None = None) -> Universe:
     """Build genesis state and address book for a workload run."""
     cfg = config or UniverseConfig()
+    if cfg.n_eoas < 1:
+        raise ValueError("universe needs at least one EOA")
+    if cfg.n_amms > 0 and cfg.n_tokens < 1:
+        raise ValueError("AMM pools pair tokens: n_amms > 0 needs n_tokens >= 1")
     rng = random.Random(cfg.seed)
 
     eoas = [_eoa_address(i) for i in range(cfg.n_eoas)]
@@ -136,6 +152,35 @@ def build_universe(config: UniverseConfig | None = None) -> Universe:
         )
         nfts.append(address)
 
+    # counting ERC-20 variants: matched pairs for conflict-taming studies
+    # (same holder sets per index, so shared-vs-partitioned runs differ
+    # only in counter layout)
+    counter_tokens: List[Address] = []
+    partitioned_tokens: List[Address] = []
+    if cfg.n_counter_tokens or cfg.n_partitioned_tokens:
+        shared_code = erc20_shared_counter_code()
+        partitioned_code = erc20_partitioned_counter_code()
+        pair_count = max(cfg.n_counter_tokens, cfg.n_partitioned_tokens)
+        for t in range(pair_count):
+            holders = rng.sample(
+                eoas, max(1, int(len(eoas) * cfg.token_holder_fraction))
+            )
+            storage = {
+                erc20_balance_slot(h): cfg.initial_token_balance for h in holders
+            }
+            if t < cfg.n_counter_tokens:
+                address = _contract_address(5, t)
+                alloc[address] = AccountData(
+                    code=shared_code, storage=dict(storage), balance=0
+                )
+                counter_tokens.append(address)
+            if t < cfg.n_partitioned_tokens:
+                address = _contract_address(6, t)
+                alloc[address] = AccountData(
+                    code=partitioned_code, storage=dict(storage), balance=0
+                )
+                partitioned_tokens.append(address)
+
     # airdrop distributors
     airdrops: List[Address] = []
     airdrop_bytecode = airdrop_code()
@@ -156,4 +201,6 @@ def build_universe(config: UniverseConfig | None = None) -> Universe:
         amms=amms,
         nfts=nfts,
         airdrops=airdrops,
+        counter_tokens=counter_tokens,
+        partitioned_tokens=partitioned_tokens,
     )

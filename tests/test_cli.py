@@ -25,9 +25,15 @@ class TestParser:
 
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace"])
-        assert args.scenario == "round"
+        assert args.mode == "round"
         assert args.rounds == 2
         assert args.out == "trace.json"
+
+    def test_scenario_flag(self):
+        args = build_parser().parse_args(["--scenario", "mev-bundles", "demo"])
+        assert args.scenario == "mev-bundles"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scenario", "nonsense", "demo"])
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--data-dir", "/tmp/x"])
@@ -95,7 +101,7 @@ class TestCommands:
     def test_trace_network(self, tmp_path):
         out_path = tmp_path / "net.json"
         argv = [
-            *self.ARGS, "trace", "--scenario", "network",
+            *self.ARGS, "trace", "--mode", "network",
             "--rounds", "1", "--out", str(out_path),
         ]
         assert main(argv) == 0

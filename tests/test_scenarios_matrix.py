@@ -1,0 +1,95 @@
+"""Scenario conformance matrix: every scenario × every proposer strategy
+× every real execution backend.
+
+For each cell the proposer seals a block from the same pending set, and:
+
+* the serial-backend seal is the reference: its schedule is proved
+  conflict-serializable (:func:`verify_schedule` on the shipped profile,
+  :func:`verify_commit_order` on the live proposal), the differential
+  oracle replays it serially (:func:`diff_proposal`), and the parallel
+  validator accepts it;
+* the thread- and process-backend seals must be **bit-identical** to the
+  reference — same header hash (which commits to the state, transaction
+  and receipt roots), same transaction order, same execution profile.
+
+This is the cross-cutting guarantee the scenario engine rides on: no
+traffic shape, however adversarial, may make the engines' output depend
+on the physical execution substrate.
+"""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain
+from repro.check.differential import diff_proposal
+from repro.check.oracle import verify_commit_order, verify_schedule
+from repro.core.occ_wsi import ProposerConfig
+from repro.core.strategies import STRATEGY_CHOICES
+from repro.core.validator import ParallelValidator, ValidatorConfig
+from repro.exec import ProcessBackend, SerialBackend, ThreadBackend
+from repro.network.node import ProposerNode
+from repro.workload.scenarios import get_scenario, scenario_names
+
+pytestmark = pytest.mark.scenarios
+
+#: serial first — it is the reference the others must match bit-for-bit
+BACKEND_FACTORIES = (
+    ("serial", lambda: SerialBackend()),
+    ("thread", lambda: ThreadBackend(2)),
+    ("process", lambda: ProcessBackend(2)),
+)
+
+
+def seal_with(strategy, backend, parent_header, parent_state, txs):
+    node = ProposerNode(
+        "matrix",
+        config=ProposerConfig(lanes=4, strategy=strategy, strict_checks=True),
+        backend=backend,
+    )
+    return node.build_block(parent_header, parent_state, txs)
+
+
+def identity(sealed):
+    """Everything "bit-identical" means for a sealed block."""
+    block = sealed.block
+    return (
+        bytes(block.header.hash),
+        tuple(bytes(tx.hash) for tx in block.transactions),
+        tuple(
+            (bytes(e.tx_hash), e.gas_used, e.success, e.rw)
+            for e in block.profile.entries
+        ),
+    )
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_conformance_matrix(scenario):
+    stream = get_scenario(scenario, seed=7, txs_per_block=18, compact=True)
+    txs = stream.generate_block_txs()
+    universe = stream.universe
+    parent_header = Blockchain(universe.genesis).genesis.header
+    validator = ParallelValidator(config=ValidatorConfig(lanes=4))
+
+    for strategy in STRATEGY_CHOICES:
+        reference = None
+        for backend_name, factory in BACKEND_FACTORIES:
+            with factory() as backend:
+                sealed = seal_with(
+                    strategy, backend, parent_header, universe.genesis, txs
+                )
+            if reference is None:
+                reference = identity(sealed)
+                # the reference runs the full conformance chain once
+                schedule = verify_schedule(sealed.block, strategy=strategy)
+                assert schedule.ok, (scenario, strategy, schedule.summary())
+                order = verify_commit_order(sealed.proposal)
+                assert order.ok, (scenario, strategy, order.summary())
+                diff = diff_proposal(sealed, universe.genesis)
+                assert diff.ok, (scenario, strategy, diff.summary())
+                verdict = validator.validate_block(sealed.block, universe.genesis)
+                assert verdict.accepted, (scenario, strategy, verdict.reason)
+            else:
+                assert identity(sealed) == reference, (
+                    scenario,
+                    strategy,
+                    backend_name,
+                )

@@ -1,0 +1,102 @@
+"""Property suite over every registered scenario (hypothesis-driven).
+
+Invariants that must hold for *any* scenario and *any* seed:
+
+* **streaming determinism** — same scenario + same seed ⇒ byte-identical
+  transaction stream (:func:`tx_fingerprint` sequences match exactly);
+* **nonce monotonicity** — each sender's nonces, in stream order across
+  block boundaries, count 0, 1, 2, … with no gaps or repeats (every tx
+  is valid at generation order);
+* **gas sanity** — positive gas prices bounded by the highest bid any
+  scenario places (MEV bundles bid up to 400, above the organic
+  ``gas_price_max``), and gas limits within the deploy ceiling;
+* **no duplicate transactions** — fingerprints (and hashes) are unique,
+  since (sender, nonce) pairs never repeat.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.workload.scenarios import get_scenario, scenario_names, tx_fingerprint
+
+pytestmark = pytest.mark.scenarios
+
+#: the widest bids any scenario places (MEV bundles: 150–400; organic
+#: traffic: gas_price_min..gas_price_max ⊆ [10, 200])
+GAS_PRICE_CEILING = 400
+#: the deploy path's gas limit is the global ceiling
+GAS_LIMIT_CEILING = 3_000_000
+
+SCENARIO = st.sampled_from(scenario_names())
+SEED = st.integers(min_value=0, max_value=2**16)
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sample_blocks(name, seed, *, n_blocks=3, txs_per_block=10):
+    stream = get_scenario(name, seed=seed, txs_per_block=txs_per_block, compact=True)
+    return stream.generate_blocks(n_blocks)
+
+
+@given(name=SCENARIO, seed=SEED)
+@settings(max_examples=20, **COMMON)
+def test_same_seed_is_byte_identical(name, seed):
+    first, second = (
+        [tx_fingerprint(t) for block in sample_blocks(name, seed) for t in block]
+        for _ in range(2)
+    )
+    assert first == second
+
+
+@given(name=SCENARIO, seed=SEED)
+@settings(max_examples=20, **COMMON)
+def test_nonces_are_gapless_per_sender(name, seed):
+    nonces = defaultdict(list)
+    for block in sample_blocks(name, seed):
+        for tx in block:
+            nonces[tx.sender].append(tx.nonce)
+    assert nonces
+    for sender, seen in nonces.items():
+        assert seen == list(range(len(seen))), (sender, seen)
+
+
+@given(name=SCENARIO, seed=SEED)
+@settings(max_examples=20, **COMMON)
+def test_gas_bounds_and_uniqueness(name, seed):
+    txs = [t for block in sample_blocks(name, seed) for t in block]
+    for tx in txs:
+        assert 0 < tx.gas_price <= GAS_PRICE_CEILING, tx.tag
+        assert 0 < tx.gas_limit <= GAS_LIMIT_CEILING, tx.tag
+        assert tx.value >= 0
+    fingerprints = [tx_fingerprint(t) for t in txs]
+    assert len(set(fingerprints)) == len(fingerprints)
+    hashes = [bytes(t.hash) for t in txs]
+    assert len(set(hashes)) == len(hashes)
+
+
+@given(seed=SEED, txs_per_block=st.integers(min_value=1, max_value=40))
+@settings(max_examples=15, **COMMON)
+def test_counter_variants_stay_matched(seed, txs_per_block):
+    """The matched-pair contract holds for any seed and block size, not
+    just the bench calibration: everything but the token address family
+    is identical between the shared and partitioned streams."""
+
+    def strip_to(tx):
+        fp = tx_fingerprint(tx)
+        return fp[:20] + fp[40:]  # drop the 20-byte ``to`` field
+
+    shared = get_scenario(
+        "counter-shared", seed=seed, txs_per_block=txs_per_block, compact=True
+    )
+    partitioned = get_scenario(
+        "counter-partitioned", seed=seed, txs_per_block=txs_per_block, compact=True
+    )
+    a = [t for b in shared.generate_blocks(2) for t in b]
+    b = [t for b_ in partitioned.generate_blocks(2) for t in b_]
+    assert [strip_to(t) for t in a] == [strip_to(t) for t in b]

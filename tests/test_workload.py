@@ -286,3 +286,115 @@ class TestScenarios:
         mid = era_profile(5_000_000)
         assert early.w_payment > mid.w_payment > late.w_payment
         assert early.hotspot_intensity < mid.hotspot_intensity < late.hotspot_intensity
+
+
+@pytest.mark.scenarios
+class TestGeneratorEdgeCases:
+    """Degenerate shapes the scenario engine can reach: empty families,
+    single-account universes, zeroed knobs, mid-stream config swaps."""
+
+    def _bare_universe(self, n_eoas=4):
+        from repro.workload.universe import UniverseConfig, build_universe
+
+        return build_universe(
+            UniverseConfig(
+                n_eoas=n_eoas, n_tokens=0, n_amms=0, n_nfts=0, n_airdrops=0
+            )
+        )
+
+    def test_weights_order_matches_kinds(self):
+        cfg = WorkloadConfig(
+            w_payment=1, w_erc20=2, w_amm=3, w_nft=4, w_airdrop=5
+        )
+        assert cfg.weights() == [1, 2, 3, 4, 5]
+
+    def test_negative_weight_rejected(self, small_universe):
+        with pytest.raises(ValueError, match="non-negative"):
+            BlockWorkloadGenerator(small_universe, WorkloadConfig(w_amm=-0.1))
+
+    def test_universe_without_eoas_rejected(self):
+        import dataclasses
+
+        from repro.workload.universe import UniverseConfig, build_universe
+
+        with pytest.raises(ValueError):
+            build_universe(UniverseConfig(n_eoas=0))
+        # a hand-mutilated universe is caught by the generator itself
+        crippled = dataclasses.replace(self._bare_universe(), eoas=[])
+        with pytest.raises(ValueError, match="no EOAs"):
+            BlockWorkloadGenerator(crippled)
+
+    def test_amm_without_tokens_rejected(self):
+        from repro.workload.universe import UniverseConfig, build_universe
+
+        with pytest.raises(ValueError):
+            build_universe(UniverseConfig(n_eoas=4, n_tokens=0, n_amms=1))
+
+    def test_empty_effective_mix_rejected(self):
+        # payments zeroed + every contract family undeployed = nothing
+        # left to sample; this used to IndexError deep inside sampling
+        with pytest.raises(ValueError, match="mix is empty"):
+            BlockWorkloadGenerator(
+                self._bare_universe(), WorkloadConfig(w_payment=0.0)
+            )
+
+    def test_deploy_only_mix_is_legal(self):
+        gen = BlockWorkloadGenerator(
+            self._bare_universe(),
+            WorkloadConfig(w_payment=0.0, deploy_fraction=1.0),
+        )
+        txs = gen.generate_block_txs(count=10)
+        assert [t.tag for t in txs] == ["deploy"] * 10
+
+    def test_missing_families_are_zeroed_not_fatal(self):
+        # default config weights every kind, but only payments exist
+        gen = BlockWorkloadGenerator(self._bare_universe())
+        txs = gen.generate_block_txs(count=30)
+        assert {t.tag for t in txs} == {"payment"}
+
+    def test_single_account_universe(self):
+        uni = self._bare_universe(n_eoas=1)
+        gen = BlockWorkloadGenerator(uni, WorkloadConfig(tx_count_jitter=0.0))
+        txs = gen.generate_block_txs(count=12)
+        only = uni.eoas[0]
+        assert all(t.sender == only and t.to == only for t in txs)
+        assert [t.nonce for t in txs] == list(range(12))
+
+    def test_pick_hot_or_uniform_empty_family_raises(self, small_generator):
+        with pytest.raises(ValueError, match="no deployed instances"):
+            small_generator._pick_hot_or_uniform([])
+
+    def test_pick_hot_or_uniform_single_instance(self, small_universe):
+        gen = BlockWorkloadGenerator(
+            small_universe, WorkloadConfig(hotspot_intensity=0.0)
+        )
+        assert gen._pick_hot_or_uniform(["only"]) == "only"
+
+    def test_zero_hotspot_intensity_skips_the_hotspot(self, small_universe):
+        gen = BlockWorkloadGenerator(
+            small_universe,
+            WorkloadConfig(hotspot_intensity=0.0, w_erc20=1.0, w_payment=0.0,
+                           w_amm=0.0, w_nft=0.0, w_airdrop=0.0),
+        )
+        txs = gen.generate_block_txs(count=200)
+        targets = {t.to for t in txs}
+        assert small_universe.tokens[0] not in targets
+        assert len(targets) == len(small_universe.tokens) - 1
+
+    def test_config_swap_rebinds_mix_without_reseeding(self, small_generator):
+        small_generator.generate_block_txs(count=20)
+        rng_state = small_generator.rng.getstate()
+        small_generator.config = WorkloadConfig(
+            w_payment=1.0, w_erc20=0.0, w_amm=0.0, w_nft=0.0, w_airdrop=0.0,
+            receiver_skew=2.5,
+        )
+        assert small_generator.rng.getstate() == rng_state
+        txs = small_generator.generate_block_txs(count=20)
+        assert {t.tag for t in txs} == {"payment"}
+
+    def test_config_swap_rejects_bad_mix_and_keeps_old(self, small_generator):
+        before = small_generator.config
+        with pytest.raises(ValueError):
+            small_generator.config = WorkloadConfig(w_payment=-1.0)
+        assert small_generator.config is before
+        assert small_generator.generate_block_txs(count=5)
